@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Microbenchmarks of the core numeric kernels: ANN forward and
+ * training passes (the O(H(I+O)) inner loop the Section 5.4 footnote
+ * analyses), ensemble prediction, cache accesses, and detailed
+ * simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ml/ann.hh"
+#include "ml/cross_validation.hh"
+#include "sim/cache.hh"
+#include "sim/cacti.hh"
+#include "sim/core.hh"
+#include "util/rng.hh"
+#include "workload/generator.hh"
+
+using namespace dse;
+
+namespace {
+
+void
+BM_AnnForward(benchmark::State &state)
+{
+    Rng rng(1);
+    ml::AnnParams p;
+    p.hiddenUnits = static_cast<int>(state.range(0));
+    ml::Ann net(16, 1, p, rng);
+    std::vector<double> x(16, 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.predictScalar(x));
+}
+
+void
+BM_AnnTrainStep(benchmark::State &state)
+{
+    Rng rng(2);
+    ml::AnnParams p;
+    p.hiddenUnits = static_cast<int>(state.range(0));
+    p.learningRate = 0.1;
+    ml::Ann net(16, 1, p, rng);
+    std::vector<double> x(16, 0.5);
+    std::vector<double> t{0.7};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.train(x, t));
+}
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    sim::Cache cache({32, 32, static_cast<int>(state.range(0)), true});
+    Rng rng(3);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        addr = (addr * 2654435761u + 12345) % (256 * 1024);
+        benchmark::DoNotOptimize(cache.access(addr, false).hit);
+    }
+}
+
+void
+BM_DetailedSimulation(benchmark::State &state)
+{
+    const auto trace = workload::generateBenchmarkTrace("gzip", 16384);
+    sim::MachineConfig cfg;
+    sim::CactiModel::applyLatencies(cfg);
+    sim::SimOptions opts;
+    opts.warmCaches = true;
+    for (auto _ : state) {
+        auto result = sim::simulate(trace, cfg, opts);
+        benchmark::DoNotOptimize(result.ipc);
+    }
+    state.counters["instr_per_sec"] = benchmark::Counter(
+        16384.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto trace = workload::generateBenchmarkTrace("gzip", 16384);
+        benchmark::DoNotOptimize(trace.size());
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_AnnForward)->Arg(16)->Arg(32);
+BENCHMARK(BM_AnnTrainStep)->Arg(16)->Arg(32);
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(8);
+BENCHMARK(BM_DetailedSimulation)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

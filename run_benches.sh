@@ -1,0 +1,10 @@
+#!/bin/bash
+cd /root/repo
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "===================================================================="
+    echo "== $b"
+    echo "===================================================================="
+    timeout 3000 "$b" 2>/dev/null
+    echo
+done

@@ -1,0 +1,118 @@
+#include "doe/plackett_burman.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dse {
+namespace doe {
+
+namespace {
+
+/** First rows of the standard PB designs (Plackett & Burman 1946). */
+const char *kGenerator12 = "++-+++---+-";
+const char *kGenerator20 = "++--++++-+-+----++-";
+const char *kGenerator24 = "+++++-+-++--++--+-+----";
+const char *kGenerator28 = nullptr;  // 28 is not cyclic; unsupported
+
+/** Build an N-run cyclic PB design from its generator row. */
+std::vector<std::vector<int8_t>>
+cyclicDesign(const char *generator)
+{
+    const size_t width = std::string(generator).size();
+    std::vector<std::vector<int8_t>> rows;
+    for (size_t r = 0; r < width; ++r) {
+        std::vector<int8_t> row(width);
+        for (size_t c = 0; c < width; ++c) {
+            const char ch = generator[(c + width - r) % width];
+            row[c] = ch == '+' ? 1 : -1;
+        }
+        rows.push_back(std::move(row));
+    }
+    rows.emplace_back(width, static_cast<int8_t>(-1));  // all-low run
+    return rows;
+}
+
+} // namespace
+
+std::vector<std::vector<int8_t>>
+pbDesign(int factors, bool foldover)
+{
+    if (factors < 1)
+        throw std::invalid_argument("need at least one factor");
+
+    const char *generator = nullptr;
+    if (factors <= 11)
+        generator = kGenerator12;
+    else if (factors <= 19)
+        generator = kGenerator20;
+    else if (factors <= 23)
+        generator = kGenerator24;
+    else
+        (void)kGenerator28;
+    if (!generator)
+        throw std::invalid_argument("PB designs supported up to 23 factors");
+
+    auto design = cyclicDesign(generator);
+    // Truncate columns to the requested factor count.
+    for (auto &row : design)
+        row.resize(static_cast<size_t>(factors));
+
+    if (foldover) {
+        const size_t base = design.size();
+        for (size_t r = 0; r < base; ++r) {
+            std::vector<int8_t> negated(design[r].size());
+            for (size_t c = 0; c < negated.size(); ++c)
+                negated[c] = static_cast<int8_t>(-design[r][c]);
+            design.push_back(std::move(negated));
+        }
+    }
+    return design;
+}
+
+PbResult
+pbScreen(int factors,
+         const std::function<double(const std::vector<int8_t> &)> &evaluate,
+         bool foldover)
+{
+    if (!evaluate)
+        throw std::invalid_argument("pbScreen needs an evaluator");
+    const auto design = pbDesign(factors, foldover);
+
+    std::vector<double> responses;
+    responses.reserve(design.size());
+    for (const auto &row : design)
+        responses.push_back(evaluate(row));
+
+    PbResult result;
+    result.effects.assign(static_cast<size_t>(factors), 0.0);
+    for (int f = 0; f < factors; ++f) {
+        double high = 0.0, low = 0.0;
+        size_t nh = 0, nl = 0;
+        for (size_t r = 0; r < design.size(); ++r) {
+            if (design[r][static_cast<size_t>(f)] > 0) {
+                high += responses[r];
+                ++nh;
+            } else {
+                low += responses[r];
+                ++nl;
+            }
+        }
+        result.effects[static_cast<size_t>(f)] =
+            (nh ? high / static_cast<double>(nh) : 0.0) -
+            (nl ? low / static_cast<double>(nl) : 0.0);
+    }
+
+    result.ranking.resize(static_cast<size_t>(factors));
+    for (size_t i = 0; i < result.ranking.size(); ++i)
+        result.ranking[i] = i;
+    std::sort(result.ranking.begin(), result.ranking.end(),
+              [&](size_t a, size_t b) {
+                  return std::abs(result.effects[a]) >
+                      std::abs(result.effects[b]);
+              });
+    return result;
+}
+
+} // namespace doe
+} // namespace dse

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Plackett-Burman fractional factorial designs with foldover, as used
+ * by Yi et al. [29] and by the paper (Chapter 4) to verify that the
+ * parameters each study varies are the significant ones.
+ *
+ * A PB design estimates the main effect of N two-level factors with
+ * only ~N+1 runs (2(N+1) with foldover, which cancels two-factor
+ * aliasing into the main effects). The result is a *relative ranking*
+ * of parameter importance, not absolute effect sizes.
+ */
+
+#ifndef DSE_DOE_PLACKETT_BURMAN_HH
+#define DSE_DOE_PLACKETT_BURMAN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dse {
+namespace doe {
+
+/**
+ * PB design matrix for up to `factors` two-level factors. Rows are
+ * runs; entries are +1 (high) or -1 (low). The number of rows is the
+ * smallest supported design size (12, 20, 24 or 28) that fits the
+ * factor count; with foldover the negated matrix is appended.
+ *
+ * @throws std::invalid_argument when factors exceeds the largest
+ *         supported design (27)
+ */
+std::vector<std::vector<int8_t>> pbDesign(int factors,
+                                          bool foldover = true);
+
+/** Outcome of a PB screening experiment. */
+struct PbResult
+{
+    /** Signed main effect per factor (mean(high) - mean(low)). */
+    std::vector<double> effects;
+    /** Factor indices sorted by decreasing |effect|. */
+    std::vector<size_t> ranking;
+};
+
+/**
+ * Run a PB screening experiment.
+ *
+ * @param factors number of two-level factors
+ * @param evaluate maps a +1/-1 setting vector to a response (e.g.
+ *        IPC from a simulation at high/low parameter values)
+ * @param foldover use the foldover design (recommended)
+ */
+PbResult pbScreen(int factors,
+                  const std::function<double(
+                      const std::vector<int8_t> &)> &evaluate,
+                  bool foldover = true);
+
+} // namespace doe
+} // namespace dse
+
+#endif // DSE_DOE_PLACKETT_BURMAN_HH

@@ -1,0 +1,186 @@
+#include "ml/ann.hh"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dse {
+namespace ml {
+
+namespace {
+
+double
+sigmoid(double x)
+{
+    return 1.0 / (1.0 + std::exp(-x));
+}
+
+} // namespace
+
+Ann::Ann(int inputs, int outputs, const AnnParams &params, Rng &rng)
+    : inputs_(inputs), outputs_(outputs), params_(params)
+{
+    if (inputs <= 0 || outputs <= 0)
+        throw std::invalid_argument("network needs inputs and outputs");
+    if (params.hiddenLayers < 1 || params.hiddenUnits < 1)
+        throw std::invalid_argument("network needs a hidden layer");
+
+    int prev = inputs;
+    for (int l = 0; l < params.hiddenLayers; ++l) {
+        Layer layer;
+        layer.in = prev;
+        layer.out = params.hiddenUnits;
+        layer.w.resize(static_cast<size_t>(layer.in + 1) * layer.out);
+        layer.dwPrev.assign(layer.w.size(), 0.0);
+        for (auto &w : layer.w)
+            w = rng.uniform(-params.initWeightRange, params.initWeightRange);
+        layers_.push_back(std::move(layer));
+        prev = params.hiddenUnits;
+    }
+    Layer out;
+    out.in = prev;
+    out.out = outputs;
+    out.w.resize(static_cast<size_t>(out.in + 1) * out.out);
+    out.dwPrev.assign(out.w.size(), 0.0);
+    for (auto &w : out.w)
+        w = rng.uniform(-params.initWeightRange, params.initWeightRange);
+    layers_.push_back(std::move(out));
+
+    act_.resize(layers_.size() + 1);
+    act_[0].resize(static_cast<size_t>(inputs));
+    delta_.resize(layers_.size());
+    for (size_t l = 0; l < layers_.size(); ++l) {
+        act_[l + 1].resize(static_cast<size_t>(layers_[l].out));
+        delta_[l].resize(static_cast<size_t>(layers_[l].out));
+    }
+}
+
+void
+Ann::forward(const std::vector<double> &input) const
+{
+    assert(static_cast<int>(input.size()) == inputs_);
+    act_[0] = input;
+    for (size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        const std::vector<double> &in = act_[l];
+        std::vector<double> &out = act_[l + 1];
+        for (int j = 0; j < layer.out; ++j) {
+            const double *w = &layer.w[static_cast<size_t>(j) *
+                                       (layer.in + 1)];
+            double net = w[layer.in];  // bias
+            for (int i = 0; i < layer.in; ++i)
+                net += w[i] * in[i];
+            out[static_cast<size_t>(j)] = sigmoid(net);
+        }
+    }
+}
+
+std::vector<double>
+Ann::predict(const std::vector<double> &input) const
+{
+    forward(input);
+    return act_.back();
+}
+
+double
+Ann::predictScalar(const std::vector<double> &input) const
+{
+    forward(input);
+    return act_.back()[0];
+}
+
+double
+Ann::train(const std::vector<double> &input,
+           const std::vector<double> &target)
+{
+    assert(static_cast<int>(target.size()) == outputs_);
+    forward(input);
+
+    // Output deltas: (t - o) * o * (1 - o) for sigmoid outputs.
+    double sq_error = 0.0;
+    {
+        const std::vector<double> &o = act_.back();
+        std::vector<double> &d = delta_.back();
+        for (int j = 0; j < outputs_; ++j) {
+            const double oj = o[static_cast<size_t>(j)];
+            const double err = target[static_cast<size_t>(j)] - oj;
+            sq_error += err * err;
+            d[static_cast<size_t>(j)] = err * oj * (1.0 - oj);
+        }
+    }
+
+    // Hidden deltas, back to front.
+    for (size_t l = layers_.size() - 1; l-- > 0;) {
+        const Layer &next = layers_[l + 1];
+        const std::vector<double> &o = act_[l + 1];
+        const std::vector<double> &dn = delta_[l + 1];
+        std::vector<double> &d = delta_[l];
+        for (int i = 0; i < next.in; ++i) {
+            double sum = 0.0;
+            for (int j = 0; j < next.out; ++j)
+                sum += next.w[static_cast<size_t>(j) * (next.in + 1) + i] *
+                    dn[static_cast<size_t>(j)];
+            const double oi = o[static_cast<size_t>(i)];
+            d[static_cast<size_t>(i)] = sum * oi * (1.0 - oi);
+        }
+    }
+
+    // Weight updates with momentum (Equation 3.2).
+    const double eta = params_.learningRate;
+    const double alpha = params_.momentum;
+    for (size_t l = 0; l < layers_.size(); ++l) {
+        Layer &layer = layers_[l];
+        const std::vector<double> &in = act_[l];
+        const std::vector<double> &d = delta_[l];
+        for (int j = 0; j < layer.out; ++j) {
+            double *w = &layer.w[static_cast<size_t>(j) * (layer.in + 1)];
+            double *dw = &layer.dwPrev[static_cast<size_t>(j) *
+                                       (layer.in + 1)];
+            const double dj = d[static_cast<size_t>(j)];
+            for (int i = 0; i < layer.in; ++i) {
+                const double update = eta * dj * in[i] + alpha * dw[i];
+                w[i] += update;
+                dw[i] = update;
+            }
+            const double update = eta * dj + alpha * dw[layer.in];
+            w[layer.in] += update;
+            dw[layer.in] = update;
+        }
+    }
+    return sq_error;
+}
+
+size_t
+Ann::weightCount() const
+{
+    size_t n = 0;
+    for (const auto &layer : layers_)
+        n += layer.w.size();
+    return n;
+}
+
+std::vector<double>
+Ann::weights() const
+{
+    std::vector<double> all;
+    for (const auto &layer : layers_)
+        all.insert(all.end(), layer.w.begin(), layer.w.end());
+    return all;
+}
+
+void
+Ann::setWeights(const std::vector<double> &flat)
+{
+    if (flat.size() != weightCount())
+        throw std::invalid_argument("weight vector size mismatch");
+    size_t at = 0;
+    for (auto &layer : layers_) {
+        std::copy(flat.begin() + static_cast<ptrdiff_t>(at),
+                  flat.begin() + static_cast<ptrdiff_t>(at + layer.w.size()),
+                  layer.w.begin());
+        at += layer.w.size();
+    }
+}
+
+} // namespace ml
+} // namespace dse

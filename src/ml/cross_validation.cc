@@ -1,0 +1,212 @@
+#include "ml/cross_validation.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/stats.hh"
+
+namespace dse {
+namespace ml {
+
+namespace {
+
+/**
+ * Cumulative presentation weights for one fold's training rows
+ * (inverse-target weighting, Section 3.3), enabling O(log n) draws.
+ */
+std::vector<double>
+presentationCdf(const DataSet &data, const std::vector<size_t> &rows,
+                bool weighted)
+{
+    std::vector<double> cdf(rows.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const double t = std::abs(data.y[rows[i]]);
+        acc += weighted ? 1.0 / std::max(t, 1e-6) : 1.0;
+        cdf[i] = acc;
+    }
+    return cdf;
+}
+
+size_t
+drawRow(const std::vector<double> &cdf, Rng &rng)
+{
+    const double r = rng.uniform() * cdf.back();
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
+    return static_cast<size_t>(std::min<ptrdiff_t>(
+        it - cdf.begin(), static_cast<ptrdiff_t>(cdf.size()) - 1));
+}
+
+/** Mean model error on a set of rows, as defined by the options. */
+double
+evalError(const Ann &net, const DataSet &data, const TargetScaler &scaler,
+          const std::vector<size_t> &rows, bool percentage)
+{
+    double sum = 0.0;
+    for (size_t row : rows) {
+        const double pred = scaler.decode(net.predictScalar(data.x[row]));
+        if (percentage) {
+            sum += percentageError(pred, data.y[row]);
+        } else {
+            const double d = pred - data.y[row];
+            sum += d * d;
+        }
+    }
+    return rows.empty() ? 0.0 : sum / static_cast<double>(rows.size());
+}
+
+} // namespace
+
+Ensemble::Ensemble(std::vector<Ann> nets, TargetScaler scaler,
+                   ErrorEstimate estimate)
+    : nets_(std::move(nets)), scaler_(scaler), estimate_(estimate)
+{
+    if (nets_.empty())
+        throw std::invalid_argument("ensemble needs at least one member");
+}
+
+double
+Ensemble::predict(const std::vector<double> &features) const
+{
+    double sum = 0.0;
+    for (const auto &net : nets_)
+        sum += net.predictScalar(features);
+    return scaler_.decode(sum / static_cast<double>(nets_.size()));
+}
+
+double
+Ensemble::predictMember(size_t i, const std::vector<double> &features) const
+{
+    return scaler_.decode(nets_.at(i).predictScalar(features));
+}
+
+Ensemble::NetMeta
+Ensemble::netMeta() const
+{
+    NetMeta meta;
+    meta.inputs = nets_.front().inputs();
+    meta.outputs = nets_.front().outputs();
+    meta.params = nets_.front().params();
+    return meta;
+}
+
+std::vector<double>
+Ensemble::memberWeights(size_t i) const
+{
+    return nets_.at(i).weights();
+}
+
+double
+Ensemble::memberSpread(const std::vector<double> &features) const
+{
+    OnlineStats acc;
+    for (const auto &net : nets_)
+        acc.add(scaler_.decode(net.predictScalar(features)));
+    return acc.stddev();
+}
+
+Ensemble
+trainEnsemble(const DataSet &data, const TrainOptions &opts)
+{
+    if (data.size() < static_cast<size_t>(opts.folds) ||
+        opts.folds < 2) {
+        throw std::invalid_argument(
+            "need at least `folds` >= 2 training points");
+    }
+
+    Rng rng(opts.seed);
+
+    TargetScaler scaler;
+    scaler.fit(data.y);
+
+    // Shuffle row indices, then deal them into k folds.
+    std::vector<size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    const int k = opts.folds;
+    std::vector<std::vector<size_t>> folds(static_cast<size_t>(k));
+    for (size_t i = 0; i < order.size(); ++i)
+        folds[i % static_cast<size_t>(k)].push_back(order[i]);
+
+    const int inputs = static_cast<int>(data.x.front().size());
+    std::vector<Ann> nets;
+    nets.reserve(static_cast<size_t>(k));
+    std::vector<double> pooled_pct_errors;
+
+    for (int m = 0; m < k; ++m) {
+        // Model m: ES fold = (m + k - 1) % k, test fold = m, train on
+        // the rest (Figure 3.3's rotation).
+        const int test_fold = m;
+        const int es_fold = (m + k - 1) % k;
+
+        std::vector<size_t> train_rows;
+        for (int f = 0; f < k; ++f) {
+            if (f == test_fold || f == es_fold)
+                continue;
+            train_rows.insert(train_rows.end(), folds[f].begin(),
+                              folds[f].end());
+        }
+        const std::vector<size_t> &es_rows =
+            folds[static_cast<size_t>(es_fold)];
+        const std::vector<size_t> &test_rows =
+            folds[static_cast<size_t>(test_fold)];
+
+        Ann net(inputs, 1, opts.ann, rng);
+        const auto cdf = presentationCdf(data, train_rows,
+                                         opts.weightedPresentation);
+
+        double best_es = std::numeric_limits<double>::infinity();
+        std::vector<double> best_weights = net.weights();
+        int stale = 0;
+        std::vector<double> target(1);
+
+        const double base_lr = opts.ann.learningRate;
+        for (int epoch = 0; epoch < opts.maxEpochs; ++epoch) {
+            if (opts.ann.decayEpochs > 0.0) {
+                net.setLearningRate(
+                    base_lr / (1.0 + epoch / opts.ann.decayEpochs));
+            }
+            // One epoch = train_rows.size() weighted presentations.
+            for (size_t n = 0; n < train_rows.size(); ++n) {
+                const size_t row = train_rows[drawRow(cdf, rng)];
+                target[0] = scaler.encode(data.y[row]);
+                net.train(data.x[row], target);
+            }
+            if (!opts.earlyStopping ||
+                (epoch + 1) % std::max(1, opts.esInterval) != 0) {
+                continue;
+            }
+            const double es_err = evalError(net, data, scaler, es_rows,
+                                            opts.percentageEarlyStop);
+            if (es_err < best_es - 1e-12) {
+                best_es = es_err;
+                best_weights = net.weights();
+                stale = 0;
+            } else if (++stale >= opts.patience) {
+                break;
+            }
+        }
+        if (opts.earlyStopping)
+            net.setWeights(best_weights);
+
+        // Test-fold percentage errors feed the pooled estimate.
+        for (size_t row : test_rows) {
+            const double pred =
+                scaler.decode(net.predictScalar(data.x[row]));
+            pooled_pct_errors.push_back(percentageError(pred, data.y[row]));
+        }
+        nets.push_back(std::move(net));
+    }
+
+    ErrorEstimate est;
+    est.meanPct = mean(pooled_pct_errors);
+    est.sdPct = stddev(pooled_pct_errors);
+    return Ensemble(std::move(nets), scaler, est);
+}
+
+} // namespace ml
+} // namespace dse

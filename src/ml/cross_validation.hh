@@ -1,0 +1,140 @@
+/**
+ * @file
+ * k-fold cross-validation ensemble training (Section 3.2).
+ *
+ * The training sample is split into k folds. Network i trains on
+ * folds {1..k} \ {es_i, test_i}, early-stops on fold es_i, and its
+ * accuracy is estimated on fold test_i; the es/test folds rotate so
+ * every fold serves each role once. The resulting k networks form an
+ * ensemble whose prediction is the average of the member predictions.
+ * The pooled percentage errors on the k test folds give the
+ * cross-validation estimate of the ensemble's mean error and its
+ * standard deviation over the whole design space — the signal the
+ * architect uses to decide when to stop simulating.
+ *
+ * Architecture-specific training details from Section 3.3:
+ *  - examples are presented at a frequency proportional to the
+ *    inverse of their target value, optimizing percentage (not
+ *    absolute) error;
+ *  - early stopping monitors percentage error on the ES fold and
+ *    rolls back to the best-seen weights.
+ */
+
+#ifndef DSE_ML_CROSS_VALIDATION_HH
+#define DSE_ML_CROSS_VALIDATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/ann.hh"
+#include "ml/encoding.hh"
+
+namespace dse {
+namespace ml {
+
+/** A supervised regression data set (encoded features, raw targets). */
+struct DataSet
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+
+    size_t size() const { return x.size(); }
+
+    void
+    add(std::vector<double> features, double target)
+    {
+        x.push_back(std::move(features));
+        y.push_back(target);
+    }
+};
+
+/** Cross-validation estimate of model error over the design space. */
+struct ErrorEstimate
+{
+    double meanPct = 0.0;  ///< estimated mean percentage error
+    double sdPct = 0.0;    ///< estimated SD of percentage error
+};
+
+/** Training configuration. */
+struct TrainOptions
+{
+    int folds = 10;
+    AnnParams ann;
+    int maxEpochs = 8000;
+    /** Evaluate the early-stopping fold every this many epochs. */
+    int esInterval = 10;
+    /** Early stopping: ES evaluations without improvement to stop. */
+    int patience = 40;
+    /** Present examples at frequency proportional to 1/target. */
+    bool weightedPresentation = true;
+    /** Early-stop on percentage (vs. squared) error. */
+    bool percentageEarlyStop = true;
+    /** Disable early stopping entirely (ablation). */
+    bool earlyStopping = true;
+    uint64_t seed = 12345;
+};
+
+/**
+ * The trained cross-validation ensemble: k networks plus the target
+ * scaler and the error estimate derived from the test folds.
+ */
+class Ensemble
+{
+  public:
+    Ensemble(std::vector<Ann> nets, TargetScaler scaler,
+             ErrorEstimate estimate);
+
+    /** Ensemble prediction: average of member predictions, decoded. */
+    double predict(const std::vector<double> &features) const;
+
+    /** Prediction of a single member (ablation/diagnostics). */
+    double predictMember(size_t i,
+                         const std::vector<double> &features) const;
+
+    /**
+     * Spread of member predictions on a point (sample SD, raw units).
+     * High disagreement flags uncertainty — the active-learning
+     * extension samples where this is largest.
+     */
+    double memberSpread(const std::vector<double> &features) const;
+
+    size_t members() const { return nets_.size(); }
+
+    /** Cross-validation error estimate (mean and SD, percent). */
+    const ErrorEstimate &estimate() const { return estimate_; }
+
+    const TargetScaler &scaler() const { return scaler_; }
+
+    /** Shared member-network topology (serialization). */
+    struct NetMeta
+    {
+        int inputs = 0;
+        int outputs = 0;
+        AnnParams params;
+    };
+
+    /** Topology and hyper-parameters of the member networks. */
+    NetMeta netMeta() const;
+
+    /** Flat weight vector of one member (serialization). */
+    std::vector<double> memberWeights(size_t i) const;
+
+  private:
+    std::vector<Ann> nets_;
+    TargetScaler scaler_;
+    ErrorEstimate estimate_;
+};
+
+/**
+ * Train a k-fold cross-validation ensemble on a data set.
+ *
+ * @param data encoded features and raw (unscaled) targets
+ * @param opts training configuration
+ * @return the ensemble with its error estimate
+ */
+Ensemble trainEnsemble(const DataSet &data, const TrainOptions &opts);
+
+} // namespace ml
+} // namespace dse
+
+#endif // DSE_ML_CROSS_VALIDATION_HH

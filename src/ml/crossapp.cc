@@ -1,0 +1,58 @@
+#include "ml/crossapp.hh"
+
+#include <stdexcept>
+
+namespace dse {
+namespace ml {
+
+CrossAppSpace::CrossAppSpace(const DesignSpace &space,
+                             std::vector<std::string> apps)
+    : space_(space), apps_(std::move(apps))
+{
+    if (apps_.empty())
+        throw std::invalid_argument("need at least one application");
+}
+
+int
+CrossAppSpace::encodedWidth() const
+{
+    return static_cast<int>(apps_.size()) + space_.encodedWidth();
+}
+
+std::vector<double>
+CrossAppSpace::encode(size_t app_index, uint64_t index) const
+{
+    if (app_index >= apps_.size())
+        throw std::out_of_range("application index out of range");
+    std::vector<double> x;
+    x.reserve(static_cast<size_t>(encodedWidth()));
+    for (size_t a = 0; a < apps_.size(); ++a)
+        x.push_back(a == app_index ? 1.0 : 0.0);
+    const auto design = space_.encodeIndex(index);
+    x.insert(x.end(), design.begin(), design.end());
+    return x;
+}
+
+size_t
+CrossAppSpace::appIndex(const std::string &name) const
+{
+    for (size_t a = 0; a < apps_.size(); ++a) {
+        if (apps_[a] == name)
+            return a;
+    }
+    throw std::invalid_argument("unknown application: " + name);
+}
+
+Ensemble
+trainCrossAppEnsemble(const CrossAppSpace &space,
+                      const std::vector<CrossAppSample> &samples,
+                      const TrainOptions &opts)
+{
+    DataSet data;
+    for (const auto &s : samples)
+        data.add(space.encode(s.appIndex, s.designIndex), s.target);
+    return trainEnsemble(data, opts);
+}
+
+} // namespace ml
+} // namespace dse

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Cross-application predictive modeling (Chapter 7, future work).
+ *
+ * The baseline treats each benchmark as an independent modeling
+ * problem. When several applications share structure (the same
+ * functional relationship between parameters and the metric in parts
+ * of the space), one *joint* model — with the application identity as
+ * an extra one-hot input — can share what it learns across
+ * applications and reach a given accuracy from fewer simulations per
+ * application.
+ */
+
+#ifndef DSE_ML_CROSSAPP_HH
+#define DSE_ML_CROSSAPP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/cross_validation.hh"
+#include "ml/encoding.hh"
+
+namespace dse {
+namespace ml {
+
+/**
+ * A design space extended with an application-identity input.
+ *
+ * Feature vector = [one-hot(app) | encode(design point)]. Target
+ * scaling is joint (one scaler across applications), so applications
+ * with very different metric ranges should be modeled per-app
+ * instead.
+ */
+class CrossAppSpace
+{
+  public:
+    CrossAppSpace(const DesignSpace &space,
+                  std::vector<std::string> apps);
+
+    const DesignSpace &space() const { return space_; }
+    const std::vector<std::string> &apps() const { return apps_; }
+
+    /** Width of the joint feature vector. */
+    int encodedWidth() const;
+
+    /** Encode (application, design point). */
+    std::vector<double> encode(size_t app_index, uint64_t index) const;
+
+    /** Index of an application by name; throws if absent. */
+    size_t appIndex(const std::string &name) const;
+
+  private:
+    const DesignSpace &space_;
+    std::vector<std::string> apps_;
+};
+
+/** A (application, design point, target) training triple. */
+struct CrossAppSample
+{
+    size_t appIndex = 0;
+    uint64_t designIndex = 0;
+    double target = 0.0;
+};
+
+/**
+ * Train one joint cross-validation ensemble over several
+ * applications' samples.
+ */
+Ensemble trainCrossAppEnsemble(const CrossAppSpace &space,
+                               const std::vector<CrossAppSample> &samples,
+                               const TrainOptions &opts);
+
+} // namespace ml
+} // namespace dse
+
+#endif // DSE_ML_CROSSAPP_HH

@@ -1,0 +1,143 @@
+#include "ml/explorer.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dse {
+namespace ml {
+
+Explorer::Explorer(const DesignSpace &space, SimulatorFn simulator,
+                   ExplorerOptions opts)
+    : space_(space), simulator_(std::move(simulator)),
+      opts_(std::move(opts)), rng_(opts_.seed)
+{
+    if (!simulator_)
+        throw std::invalid_argument("explorer needs a simulator function");
+    if (opts_.batchSize == 0)
+        throw std::invalid_argument("batch size must be positive");
+    seen_.assign(space_.size(), false);
+    if (opts_.maxSimulations == 0)
+        opts_.maxSimulations = space_.size();
+}
+
+std::vector<uint64_t>
+Explorer::pickBatch(size_t n)
+{
+    const uint64_t space_size = space_.size();
+    std::vector<uint64_t> batch;
+
+    auto draw_unseen = [&](size_t want) {
+        std::vector<uint64_t> out;
+        // Rejection sampling is fine while the sampled fraction is
+        // small (the regime this technique lives in); fall back to a
+        // scan of the remainder otherwise.
+        size_t attempts = 0;
+        while (out.size() < want && attempts < want * 20) {
+            const uint64_t idx = rng_.below(space_size);
+            if (!seen_[idx]) {
+                seen_[idx] = true;
+                out.push_back(idx);
+            }
+            ++attempts;
+        }
+        if (out.size() < want) {
+            for (uint64_t idx = 0; idx < space_size && out.size() < want;
+                 ++idx) {
+                if (!seen_[idx]) {
+                    seen_[idx] = true;
+                    out.push_back(idx);
+                }
+            }
+        }
+        return out;
+    };
+
+    if (!opts_.activeLearning || !ensemble_) {
+        batch = draw_unseen(n);
+    } else {
+        // Query-by-committee: draw a candidate pool, rank by ensemble
+        // member disagreement, keep the most uncertain points.
+        std::vector<uint64_t> pool =
+            draw_unseen(std::max(n, opts_.candidatePool));
+        std::vector<std::pair<double, uint64_t>> scored;
+        scored.reserve(pool.size());
+        for (uint64_t idx : pool) {
+            scored.emplace_back(
+                ensemble_->memberSpread(space_.encodeIndex(idx)), idx);
+        }
+        std::sort(scored.begin(), scored.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first > b.first;
+                  });
+        for (size_t i = 0; i < scored.size(); ++i) {
+            if (i < n) {
+                batch.push_back(scored[i].second);
+            } else {
+                seen_[scored[i].second] = false;  // return to the pool
+            }
+        }
+    }
+    return batch;
+}
+
+std::optional<ExplorationStep>
+Explorer::step()
+{
+    const size_t budget_left = opts_.maxSimulations > indices_.size()
+        ? opts_.maxSimulations - indices_.size() : 0;
+    const size_t want = std::min(opts_.batchSize, budget_left);
+    if (want == 0)
+        return std::nullopt;
+
+    const auto batch = pickBatch(want);
+    if (batch.empty())
+        return std::nullopt;
+
+    for (uint64_t idx : batch) {
+        indices_.push_back(idx);
+        data_.add(space_.encodeIndex(idx), simulator_(idx));
+    }
+
+    TrainOptions train = opts_.train;
+    // Vary the training seed with the data so successive rounds do
+    // not reuse identical fold assignments on a prefix of the data.
+    train.seed = opts_.train.seed + indices_.size();
+    ensemble_ = std::make_unique<Ensemble>(trainEnsemble(data_, train));
+
+    ExplorationStep out;
+    out.totalSamples = indices_.size();
+    out.estimate = ensemble_->estimate();
+    return out;
+}
+
+std::vector<ExplorationStep>
+Explorer::run()
+{
+    std::vector<ExplorationStep> history;
+    for (;;) {
+        auto step_result = step();
+        if (!step_result)
+            break;
+        history.push_back(*step_result);
+        if (step_result->estimate.meanPct <= opts_.targetMeanPct)
+            break;
+    }
+    return history;
+}
+
+const Ensemble &
+Explorer::ensemble() const
+{
+    if (!ensemble_)
+        throw std::logic_error("no ensemble trained yet; call step()");
+    return *ensemble_;
+}
+
+double
+Explorer::predictIndex(uint64_t index) const
+{
+    return ensemble().predict(space_.encodeIndex(index));
+}
+
+} // namespace ml
+} // namespace dse

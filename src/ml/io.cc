@@ -1,0 +1,141 @@
+#include "ml/io.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace dse {
+namespace ml {
+
+namespace {
+
+constexpr const char *kMagic = "dse-ensemble";
+constexpr int kVersion = 1;
+
+void
+expectToken(std::istream &is, const std::string &expected)
+{
+    std::string token;
+    if (!(is >> token) || token != expected) {
+        throw std::runtime_error("ensemble file: expected '" + expected +
+                                 "', got '" + token + "'");
+    }
+}
+
+} // namespace
+
+void
+saveEnsemble(std::ostream &os, const Ensemble &model)
+{
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << kMagic << ' ' << kVersion << '\n';
+
+    // All members share topology/hyper-parameters; take member 0's.
+    // (predictMember forces a forward pass; we only need structure,
+    // which we recover from the weights() size and the stored params
+    // below, so serialize the params explicitly.)
+    os << "members " << model.members() << '\n';
+
+    const TargetScaler &sc = model.scaler();
+    os << "scaler " << sc.rawMin() << ' ' << sc.rawMax() << ' '
+       << sc.lo() << ' ' << sc.hi() << '\n';
+    os << "estimate " << model.estimate().meanPct << ' '
+       << model.estimate().sdPct << '\n';
+    os << "net-meta " << model.netMeta().inputs << ' '
+       << model.netMeta().outputs << ' '
+       << model.netMeta().params.hiddenUnits << ' '
+       << model.netMeta().params.hiddenLayers << ' '
+       << model.netMeta().params.learningRate << ' '
+       << model.netMeta().params.momentum << ' '
+       << model.netMeta().params.initWeightRange << ' '
+       << model.netMeta().params.decayEpochs << '\n';
+
+    for (size_t m = 0; m < model.members(); ++m) {
+        const auto w = model.memberWeights(m);
+        os << "net " << m << ' ' << w.size() << '\n';
+        for (size_t i = 0; i < w.size(); ++i)
+            os << w[i] << (i + 1 == w.size() ? '\n' : ' ');
+    }
+}
+
+void
+saveEnsemble(const std::string &path, const Ensemble &model)
+{
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error("cannot open for writing: " + path);
+    saveEnsemble(os, model);
+    if (!os)
+        throw std::runtime_error("write failed: " + path);
+}
+
+Ensemble
+loadEnsemble(std::istream &is)
+{
+    expectToken(is, kMagic);
+    int version = 0;
+    if (!(is >> version) || version != kVersion)
+        throw std::runtime_error("unsupported ensemble file version");
+
+    expectToken(is, "members");
+    size_t members = 0;
+    is >> members;
+    if (!is || members == 0 || members > 1000)
+        throw std::runtime_error("bad member count");
+
+    expectToken(is, "scaler");
+    double raw_min, raw_max, lo, hi;
+    if (!(is >> raw_min >> raw_max >> lo >> hi))
+        throw std::runtime_error("bad scaler");
+    const auto scaler = TargetScaler::fromRange(raw_min, raw_max, lo, hi);
+
+    expectToken(is, "estimate");
+    ErrorEstimate estimate;
+    if (!(is >> estimate.meanPct >> estimate.sdPct))
+        throw std::runtime_error("bad estimate");
+
+    expectToken(is, "net-meta");
+    int inputs, outputs;
+    AnnParams params;
+    if (!(is >> inputs >> outputs >> params.hiddenUnits >>
+          params.hiddenLayers >> params.learningRate >>
+          params.momentum >> params.initWeightRange >>
+          params.decayEpochs)) {
+        throw std::runtime_error("bad network metadata");
+    }
+
+    Rng rng(0);  // placeholder init; weights overwritten below
+    std::vector<Ann> nets;
+    nets.reserve(members);
+    for (size_t m = 0; m < members; ++m) {
+        expectToken(is, "net");
+        size_t index = 0, count = 0;
+        if (!(is >> index >> count) || index != m)
+            throw std::runtime_error("bad net header");
+        Ann net(inputs, outputs, params, rng);
+        if (count != net.weightCount())
+            throw std::runtime_error("weight count mismatch");
+        std::vector<double> w(count);
+        for (double &x : w) {
+            if (!(is >> x))
+                throw std::runtime_error("truncated weights");
+        }
+        net.setWeights(w);
+        nets.push_back(std::move(net));
+    }
+    return Ensemble(std::move(nets), scaler, estimate);
+}
+
+Ensemble
+loadEnsemble(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("cannot open for reading: " + path);
+    return loadEnsemble(is);
+}
+
+} // namespace ml
+} // namespace dse

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Ensemble serialization: save a trained model to a plain-text file
+ * and restore it later, so an expensive exploration's result can be
+ * reused across sessions and shared between tools (the model *is*
+ * the product of a design-space study).
+ *
+ * Format: a line-oriented text file with a version header, topology,
+ * scaler, error estimate, and per-member weight vectors. All numbers
+ * are written with max_digits10 precision, so a save/load round trip
+ * reproduces predictions bit-exactly.
+ */
+
+#ifndef DSE_ML_IO_HH
+#define DSE_ML_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/cross_validation.hh"
+
+namespace dse {
+namespace ml {
+
+/** Serialize an ensemble to a stream. */
+void saveEnsemble(std::ostream &os, const Ensemble &model);
+
+/** Serialize an ensemble to a file. @throws std::runtime_error */
+void saveEnsemble(const std::string &path, const Ensemble &model);
+
+/**
+ * Restore an ensemble from a stream.
+ * @throws std::runtime_error on malformed input
+ */
+Ensemble loadEnsemble(std::istream &is);
+
+/** Restore an ensemble from a file. @throws std::runtime_error */
+Ensemble loadEnsemble(const std::string &path);
+
+} // namespace ml
+} // namespace dse
+
+#endif // DSE_ML_IO_HH

@@ -1,0 +1,163 @@
+#include "sim/branch.hh"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dse {
+namespace sim {
+
+namespace {
+
+void
+saturatingUpdate(uint8_t &counter, bool up)
+{
+    if (up) {
+        if (counter < 3)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+} // namespace
+
+TournamentPredictor::TournamentPredictor(int entries)
+    : entries_(entries)
+{
+    if (entries <= 0 ||
+        (static_cast<unsigned>(entries) &
+         (static_cast<unsigned>(entries) - 1)) != 0) {
+        throw std::invalid_argument("predictor entries must be a power of 2");
+    }
+    mask_ = static_cast<uint32_t>(entries - 1);
+    historyBits_ = static_cast<uint32_t>(
+        std::countr_zero(static_cast<unsigned>(entries)));
+    localHistory_.assign(entries_, 0);
+    localCounters_.assign(entries_, 1);  // weakly not-taken
+    globalCounters_.assign(entries_, 1);
+    chooser_.assign(entries_, 2);        // weakly prefer global
+}
+
+size_t
+TournamentPredictor::localIndex(uint32_t pc) const
+{
+    // Per-branch history register selected by PC, its contents index
+    // the local pattern table.
+    const uint32_t hist_reg = (pc >> 2) & mask_;
+    return (localHistory_[hist_reg] ^ (pc >> 2)) & mask_;
+}
+
+size_t
+TournamentPredictor::globalIndex() const
+{
+    return globalHistory_ & mask_;
+}
+
+size_t
+TournamentPredictor::chooserIndex(uint32_t pc) const
+{
+    return (globalHistory_ ^ (pc >> 4)) & mask_;
+}
+
+bool
+TournamentPredictor::predict(uint32_t pc) const
+{
+    const bool local_pred = localCounters_[localIndex(pc)] >= 2;
+    const bool global_pred =
+        globalCounters_[(globalIndex() ^ (pc >> 2)) & mask_] >= 2;
+    const bool use_global = chooser_[chooserIndex(pc)] >= 2;
+    return use_global ? global_pred : local_pred;
+}
+
+void
+TournamentPredictor::update(uint32_t pc, bool taken)
+{
+    const size_t li = localIndex(pc);
+    const size_t gi = (globalIndex() ^ (pc >> 2)) & mask_;
+    const size_t ci = chooserIndex(pc);
+
+    const bool local_pred = localCounters_[li] >= 2;
+    const bool global_pred = globalCounters_[gi] >= 2;
+
+    // The chooser trains toward whichever component was right when
+    // they disagree.
+    if (local_pred != global_pred)
+        saturatingUpdate(chooser_[ci], global_pred == taken);
+
+    saturatingUpdate(localCounters_[li], taken);
+    saturatingUpdate(globalCounters_[gi], taken);
+
+    const uint32_t hist_reg = (pc >> 2) & mask_;
+    localHistory_[hist_reg] = static_cast<uint16_t>(
+        ((localHistory_[hist_reg] << 1) | (taken ? 1 : 0)) & mask_);
+    globalHistory_ = ((globalHistory_ << 1) | (taken ? 1 : 0)) &
+        ((1u << historyBits_) - 1);
+}
+
+void
+TournamentPredictor::reset()
+{
+    globalHistory_ = 0;
+    localHistory_.assign(entries_, 0);
+    localCounters_.assign(entries_, 1);
+    globalCounters_.assign(entries_, 1);
+    chooser_.assign(entries_, 2);
+}
+
+BranchTargetBuffer::BranchTargetBuffer(int sets)
+    : sets_(sets)
+{
+    if (sets <= 0 ||
+        (static_cast<unsigned>(sets) &
+         (static_cast<unsigned>(sets) - 1)) != 0) {
+        throw std::invalid_argument("BTB sets must be a power of 2");
+    }
+    entries_.assign(static_cast<size_t>(sets_) * 2, Entry{});
+}
+
+bool
+BranchTargetBuffer::lookup(uint32_t pc)
+{
+    ++clock_;
+    const size_t set = (pc >> 2) & static_cast<uint32_t>(sets_ - 1);
+    Entry *base = &entries_[set * 2];
+    for (int w = 0; w < 2; ++w) {
+        if (base[w].valid && base[w].tag == pc) {
+            base[w].lastUse = clock_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+BranchTargetBuffer::insert(uint32_t pc)
+{
+    ++clock_;
+    const size_t set = (pc >> 2) & static_cast<uint32_t>(sets_ - 1);
+    Entry *base = &entries_[set * 2];
+    for (int w = 0; w < 2; ++w) {
+        if (base[w].valid && base[w].tag == pc) {
+            base[w].lastUse = clock_;
+            return;
+        }
+    }
+    Entry *victim = !base[0].valid ? &base[0]
+        : !base[1].valid ? &base[1]
+        : base[0].lastUse <= base[1].lastUse ? &base[0] : &base[1];
+    victim->valid = true;
+    victim->tag = pc;
+    victim->lastUse = clock_;
+}
+
+void
+BranchTargetBuffer::reset()
+{
+    clock_ = 0;
+    for (auto &e : entries_)
+        e = Entry{};
+}
+
+} // namespace sim
+} // namespace dse

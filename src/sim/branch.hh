@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Alpha 21264-style tournament branch predictor and branch target
+ * buffer. Both studies use this predictor; the processor study varies
+ * the component table sizes (1K/2K/4K entries) and BTB geometry
+ * (1K/2K sets, 2-way), so aliasing effects across sizes must be real
+ * — hence a faithful two-level local + global + chooser structure.
+ */
+
+#ifndef DSE_SIM_BRANCH_HH
+#define DSE_SIM_BRANCH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dse {
+namespace sim {
+
+/**
+ * Tournament predictor: a local predictor (per-branch history feeding
+ * a pattern table of 2-bit counters), a global predictor (path
+ * history xor PC indexing 2-bit counters), and a chooser (2-bit
+ * counters keyed by global history) that picks between them.
+ */
+class TournamentPredictor
+{
+  public:
+    /**
+     * @param entries entries per component table (power of two)
+     */
+    explicit TournamentPredictor(int entries);
+
+    /** Predict the outcome of the branch at `pc`. */
+    bool predict(uint32_t pc) const;
+
+    /** Update all component tables with the actual outcome. */
+    void update(uint32_t pc, bool taken);
+
+    /** Clear all tables to their initial state. */
+    void reset();
+
+    int entries() const { return entries_; }
+
+  private:
+    size_t localIndex(uint32_t pc) const;
+    size_t globalIndex() const;
+    size_t chooserIndex(uint32_t pc) const;
+
+    int entries_;
+    uint32_t mask_;
+    uint32_t historyBits_;
+    uint32_t globalHistory_ = 0;
+    std::vector<uint16_t> localHistory_;   ///< per-branch history register
+    std::vector<uint8_t> localCounters_;   ///< 2-bit saturating
+    std::vector<uint8_t> globalCounters_;  ///< 2-bit saturating
+    std::vector<uint8_t> chooser_;         ///< 2-bit: >=2 selects global
+};
+
+/** Branch target buffer, N sets x 2 ways, LRU within a set. */
+class BranchTargetBuffer
+{
+  public:
+    /** @param sets number of sets (power of two); 2-way. */
+    explicit BranchTargetBuffer(int sets);
+
+    /** True if the branch's target is cached. */
+    bool lookup(uint32_t pc);
+
+    /** Install/refresh the branch's entry. */
+    void insert(uint32_t pc);
+
+    /** Clear all entries. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        uint32_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    int sets_;
+    uint64_t clock_ = 0;
+    std::vector<Entry> entries_;  ///< sets_ * 2, set-major
+};
+
+} // namespace sim
+} // namespace dse
+
+#endif // DSE_SIM_BRANCH_HH

@@ -1,0 +1,65 @@
+#include "sim/cacti.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace dse {
+namespace sim {
+
+double
+CactiModel::l1AccessNs(const CacheConfig &cfg)
+{
+    // Calibrated so 32KB/2-way -> 0.39 ns -> 2 cycles at 4 GHz.
+    const double size_term = 0.04 * std::log2(static_cast<double>(cfg.sizeKB));
+    const double assoc_term = 0.02 * cfg.assoc;
+    const double block_term = 0.01 * (cfg.blockBytes / 32.0);
+    return 0.14 + size_term + assoc_term + block_term;
+}
+
+double
+CactiModel::l2AccessNs(const CacheConfig &cfg)
+{
+    // Large arrays pay wire and decoder overheads; 1MB/8-way -> ~3.9ns
+    // -> 16 cycles at 4 GHz.
+    const double size_term = 0.25 * std::log2(static_cast<double>(cfg.sizeKB));
+    const double assoc_term = 0.05 * cfg.assoc;
+    const double block_term = 0.03 * (cfg.blockBytes / 64.0);
+    return 0.97 + size_term + assoc_term + block_term;
+}
+
+int
+CactiModel::cycles(double ns, double freq_ghz)
+{
+    const int c = static_cast<int>(std::ceil(ns * freq_ghz));
+    return c < 1 ? 1 : c;
+}
+
+void
+CactiModel::applyLatencies(MachineConfig &cfg)
+{
+    cfg.l1iLatency = cycles(l1AccessNs(cfg.l1i), cfg.freqGHz);
+    cfg.l1dLatency = cycles(l1AccessNs(cfg.l1d), cfg.freqGHz);
+    cfg.l2Latency = cycles(l2AccessNs(cfg.l2), cfg.freqGHz);
+}
+
+std::string
+CacheConfig::describe() const
+{
+    std::ostringstream os;
+    os << sizeKB << "KB/" << blockBytes << "B/" << assoc << "way/"
+       << (writeBack ? "WB" : "WT");
+    return os.str();
+}
+
+std::string
+MachineConfig::describe() const
+{
+    std::ostringstream os;
+    os << freqGHz << "GHz " << fetchWidth << "-wide ROB" << robSize
+       << " L1D[" << l1d.describe() << "] L2[" << l2.describe()
+       << "] l2bus=" << l2BusBytes << "B fsb=" << fsbGHz << "GHz";
+    return os.str();
+}
+
+} // namespace sim
+} // namespace dse

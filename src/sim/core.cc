@@ -1,0 +1,522 @@
+#include "sim/core.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/branch.hh"
+#include "sim/memsys.hh"
+
+namespace dse {
+namespace sim {
+
+namespace {
+
+using workload::OpClass;
+using workload::Trace;
+using workload::TraceOp;
+
+/** Intrinsic execution latencies (cycles) per class. */
+int
+execLatency(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMul: return 3;
+      case OpClass::FpAlu: return 2;
+      case OpClass::FpMul: return 4;
+      case OpClass::Branch: return 1;
+      case OpClass::Load: return 0;   // memory system supplies timing
+      case OpClass::Store: return 1;
+    }
+    return 1;
+}
+
+constexpr uint64_t kNotDone = ~0ull;
+/// ROB ring capacity; must be a power of two exceeding the largest
+/// ROB in any study so each in-flight trace index maps to its own slot.
+constexpr size_t kRobRing = 256;
+constexpr size_t kRobMask = kRobRing - 1;
+/// Granularity (log2 bytes) of load/store disambiguation.
+constexpr int kDisambiguationShift = 3;
+
+/** Per-ROB-entry bookkeeping. */
+struct RobEntry
+{
+    uint32_t idx = 0;          ///< absolute trace index
+    uint64_t doneAt = kNotDone;
+    OpClass cls = OpClass::IntAlu;
+    bool fpDest = false;
+    bool hasDest = false;
+    bool issued = false;
+    bool mispredicted = false;
+};
+
+/**
+ * The core pipeline state machine; one instance per simulate() call.
+ */
+class Pipeline
+{
+  public:
+    Pipeline(const Trace &trace, const MachineConfig &cfg)
+        : trace_(trace), cfg_(cfg), mem_(cfg),
+          predictor_(cfg.bpEntries), btb_(cfg.btbSets)
+    {
+        if (static_cast<size_t>(cfg.robSize) >= kRobRing)
+            throw std::invalid_argument("ROB too large for ROB ring");
+        rob_.resize(kRobRing);
+        pending_.reserve(static_cast<size_t>(cfg.robSize));
+    }
+
+    SimResult
+    run(const SimOptions &opts)
+    {
+        const size_t end = std::min(opts.end, trace_.ops.size());
+        const size_t begin = std::min(opts.begin, end);
+        // Detailed warming: start simulating earlier, measure later.
+        const size_t detail_begin = begin > opts.detailedWarmup
+            ? begin - opts.detailedWarmup : 0;
+        const size_t skip = begin - detail_begin;
+
+        if (opts.warmCaches)
+            warmup(0, trace_.ops.size());
+        else if (opts.warmupInstructions > 0)
+            warmup(detail_begin > opts.warmupInstructions
+                       ? detail_begin - opts.warmupInstructions : 0,
+                   detail_begin);
+        mem_.resetStats();
+
+        fetchIdx_ = detail_begin;
+        end_ = end;
+        headIdx_ = static_cast<uint32_t>(detail_begin);
+
+        uint64_t cycle = 0;
+        uint64_t measure_start_cycle = 0;
+        bool measuring = skip == 0;
+        const uint64_t cycle_cap =
+            20000ull * (end - detail_begin) + 1000000;
+        while (committed_ < end - detail_begin) {
+            const size_t before_committed = committed_;
+            const size_t before_pending = pending_.size();
+            const size_t before_fetch = fetchIdx_;
+            commit(cycle);
+            issue(cycle);
+            fetchAndDispatch(cycle);
+
+            if (committed_ == before_committed &&
+                pending_.size() == before_pending &&
+                fetchIdx_ == before_fetch) {
+                // Nothing moved: jump to the next event (a completion
+                // or the fetch-resume point) instead of idling one
+                // cycle at a time through long memory stalls.
+                cycle = std::max(cycle + 1, nextEventCycle(cycle));
+            } else {
+                ++cycle;
+            }
+            if (!measuring && committed_ >= skip) {
+                // The warm prefix has drained: measurement begins.
+                measuring = true;
+                measure_start_cycle = cycle;
+                mem_.resetStats();
+                branches_ = 0;
+                mispredicts_ = 0;
+            }
+            if (cycle > cycle_cap)
+                throw std::runtime_error("simulation deadlock");
+        }
+
+        SimResult res;
+        res.cycles = cycle - measure_start_cycle;
+        res.instructions = end - begin;
+        res.ipc = cycle ? static_cast<double>(res.instructions) /
+            static_cast<double>(cycle) : 0.0;
+        res.l1dAccesses = mem_.l1d().accesses();
+        res.l1dMisses = mem_.l1d().misses();
+        res.l2Accesses = mem_.l2().accesses();
+        res.l2Misses = mem_.l2().misses();
+        res.l1iAccesses = mem_.l1i().accesses();
+        res.l1iMisses = mem_.l1i().misses();
+        res.branches = branches_;
+        res.branchMispredicts = mispredicts_;
+        res.l1dMissRate = mem_.l1d().missRate();
+        res.l2MissRate = mem_.l2().missRate();
+        res.l1iMissRate = mem_.l1i().missRate();
+        res.branchMispredictRate = branches_
+            ? static_cast<double>(mispredicts_) /
+              static_cast<double>(branches_) : 0.0;
+        return res;
+    }
+
+  private:
+    /**
+     * Earliest future cycle at which pipeline state can change: the
+     * soonest in-flight completion, or the fetch-restart point.
+     * Returns cycle + 1 when no event is pending (defensive).
+     */
+    uint64_t
+    nextEventCycle(uint64_t cycle) const
+    {
+        uint64_t next = ~0ull;
+        for (size_t i = 0; i < robCount_; ++i) {
+            const RobEntry &e = rob_[(headIdx_ + i) & kRobMask];
+            if (e.issued && e.doneAt > cycle)
+                next = std::min(next, e.doneAt);
+        }
+        if (!waitingBranch_ && fetchIdx_ < end_ && fetchResume_ > cycle)
+            next = std::min(next, fetchResume_);
+        return next == ~0ull ? cycle + 1 : next;
+    }
+
+    /** Functional warmup: touch caches and predictor, no timing. */
+    void
+    warmup(size_t from, size_t to)
+    {
+        uint32_t last_block = ~0u;
+        const uint32_t iblock =
+            static_cast<uint32_t>(cfg_.l1i.blockBytes);
+        for (size_t i = from; i < to; ++i) {
+            const TraceOp &op = trace_.ops[i];
+            const uint32_t blk = op.pc / iblock;
+            if (blk != last_block) {
+                mem_.warmFetch(op.pc);
+                last_block = blk;
+            }
+            if ((op.cls == OpClass::Load || op.cls == OpClass::Store) &&
+                !op.noWarm) {
+                mem_.warmAccess(op.addr, op.cls == OpClass::Store);
+            }
+            if (op.cls == OpClass::Branch) {
+                predictor_.update(op.pc, op.taken);
+                if (op.taken)
+                    btb_.insert(op.pc);
+            }
+        }
+    }
+
+    bool
+    robFull() const
+    {
+        return robCount_ == static_cast<size_t>(cfg_.robSize);
+    }
+
+    RobEntry &robAt(uint32_t trace_idx) { return rob_[trace_idx & kRobMask]; }
+
+    /** Does an older unissued store write this load's block? */
+    bool
+    conflictsWithOlderStore(uint64_t addr) const
+    {
+        const uint64_t block = addr >> kDisambiguationShift;
+        for (uint64_t b : unissuedStoreBlocks_) {
+            if (b == block)
+                return true;
+        }
+        return false;
+    }
+
+    /** Can this op be dispatched given current resource occupancy? */
+    bool
+    canDispatch(const TraceOp &op) const
+    {
+        if (robFull())
+            return false;
+        switch (op.cls) {
+          case OpClass::Load:
+            if (lsqLoads_ >= cfg_.lsqLoads)
+                return false;
+            break;
+          case OpClass::Store:
+            if (lsqStores_ >= cfg_.lsqStores)
+                return false;
+            break;
+          case OpClass::Branch:
+            if (inflightBranches_ >= cfg_.maxBranches)
+                return false;
+            break;
+          default:
+            break;
+        }
+        const bool has_dest = op.cls != OpClass::Store &&
+            op.cls != OpClass::Branch;
+        if (has_dest) {
+            if (op.fpDest) {
+                if (fpRegsUsed_ >= cfg_.fpRegs - 32)
+                    return false;
+            } else {
+                if (intRegsUsed_ >= cfg_.intRegs - 32)
+                    return false;
+            }
+        }
+        return true;
+    }
+
+    void
+    fetchAndDispatch(uint64_t cycle)
+    {
+        if (waitingBranch_ || cycle < fetchResume_)
+            return;
+        const uint32_t iblock = static_cast<uint32_t>(cfg_.l1i.blockBytes);
+
+        for (int slot = 0; slot < cfg_.fetchWidth; ++slot) {
+            if (fetchIdx_ >= end_)
+                return;
+            const TraceOp &op = trace_.ops[fetchIdx_];
+
+            // Instruction cache: one access per block crossing.
+            const uint32_t blk = op.pc / iblock;
+            if (blk != lastFetchBlock_) {
+                const uint64_t done = mem_.fetch(op.pc, cycle);
+                lastFetchBlock_ = blk;
+                if (done > cycle + static_cast<uint64_t>(cfg_.l1iLatency)) {
+                    fetchResume_ = done;
+                    return;
+                }
+            }
+
+            if (!canDispatch(op))
+                return;
+
+            // Allocate the ROB entry.
+            RobEntry &e = rob_[fetchIdx_ & kRobMask];
+            e.idx = static_cast<uint32_t>(fetchIdx_);
+            e.cls = op.cls;
+            e.fpDest = op.fpDest;
+            e.hasDest = op.cls != OpClass::Store &&
+                op.cls != OpClass::Branch;
+            e.issued = false;
+            e.mispredicted = false;
+            e.doneAt = kNotDone;
+            ++robCount_;
+            pending_.push_back(e.idx);
+
+            if (e.hasDest) {
+                if (e.fpDest)
+                    ++fpRegsUsed_;
+                else
+                    ++intRegsUsed_;
+            }
+            if (op.cls == OpClass::Load)
+                ++lsqLoads_;
+            if (op.cls == OpClass::Store)
+                ++lsqStores_;
+
+            ++fetchIdx_;
+
+            if (op.cls == OpClass::Branch) {
+                ++inflightBranches_;
+                ++branches_;
+                const bool predicted = predictor_.predict(op.pc);
+                predictor_.update(op.pc, op.taken);
+                if (predicted != op.taken) {
+                    ++mispredicts_;
+                    e.mispredicted = true;
+                    waitingBranch_ = true;
+                    if (op.taken)
+                        btb_.insert(op.pc);
+                    return;
+                }
+                if (op.taken) {
+                    const bool btb_hit = btb_.lookup(op.pc);
+                    btb_.insert(op.pc);
+                    if (!btb_hit) {
+                        // Target computed in decode: short bubble.
+                        fetchResume_ = cycle + 2;
+                        return;
+                    }
+                    // Correctly predicted taken branch ends the
+                    // fetch group.
+                    return;
+                }
+            }
+        }
+    }
+
+    /** Is the producer `dist` instructions back ready at `cycle`? */
+    bool
+    sourceReady(uint32_t idx, int32_t dist, uint64_t cycle) const
+    {
+        // dist > idx would reach before the trace: no producer.
+        if (dist <= 0 || static_cast<uint32_t>(dist) > idx)
+            return true;
+        const uint32_t producer = idx - static_cast<uint32_t>(dist);
+        if (producer < headIdx_)
+            return true;  // already committed
+        const RobEntry &p = rob_[producer & kRobMask];
+        return p.issued && p.doneAt <= cycle;
+    }
+
+    void
+    issue(uint64_t cycle)
+    {
+        int issued = 0;
+        int int_used = 0, fp_used = 0, ld_used = 0, st_used = 0;
+        // Blocks of older not-yet-issued stores, for memory
+        // disambiguation: a load may bypass older stores unless one
+        // writes its block (then it waits — conservative forwarding).
+        unissuedStoreBlocks_.clear();
+
+        size_t keep = 0;
+        for (size_t i = 0; i < pending_.size(); ++i) {
+            const uint32_t idx = pending_[i];
+            RobEntry &e = robAt(idx);
+            assert(e.idx == idx);
+            const TraceOp &op = trace_.ops[idx];
+
+            bool can_issue = issued < cfg_.issueWidth;
+
+            if (can_issue) {
+                switch (e.cls) {
+                  case OpClass::IntAlu:
+                  case OpClass::IntMul:
+                  case OpClass::Branch:
+                    can_issue = int_used < cfg_.intAluUnits;
+                    break;
+                  case OpClass::FpAlu:
+                  case OpClass::FpMul:
+                    can_issue = fp_used < cfg_.fpUnits;
+                    break;
+                  case OpClass::Load:
+                    can_issue = ld_used < cfg_.loadPorts &&
+                        !conflictsWithOlderStore(op.addr);
+                    break;
+                  case OpClass::Store:
+                    can_issue = st_used < cfg_.storePorts;
+                    break;
+                }
+            }
+
+            if (can_issue) {
+                can_issue = sourceReady(idx, op.src1, cycle) &&
+                    sourceReady(idx, op.src2, cycle);
+            }
+
+            uint64_t done = 0;
+            if (can_issue) {
+                if (e.cls == OpClass::Load) {
+                    done = mem_.load(op.addr, cycle + 1);
+                    if (done == 0)
+                        can_issue = false;  // MSHRs full, retry
+                } else if (e.cls == OpClass::Store) {
+                    mem_.store(op.addr, cycle + 1);
+                    done = cycle + 1 + execLatency(e.cls);
+                } else {
+                    done = cycle + 1 +
+                        static_cast<uint64_t>(execLatency(e.cls));
+                }
+            }
+
+            if (!can_issue) {
+                if (e.cls == OpClass::Store) {
+                    unissuedStoreBlocks_.push_back(
+                        op.addr >> kDisambiguationShift);
+                }
+                pending_[keep++] = idx;
+                continue;
+            }
+
+            // Issue.
+            ++issued;
+            switch (e.cls) {
+              case OpClass::IntAlu:
+              case OpClass::IntMul:
+              case OpClass::Branch:
+                ++int_used;
+                break;
+              case OpClass::FpAlu:
+              case OpClass::FpMul:
+                ++fp_used;
+                break;
+              case OpClass::Load:
+                ++ld_used;
+                break;
+              case OpClass::Store:
+                ++st_used;
+                break;
+            }
+            e.issued = true;
+            e.doneAt = done;
+
+            if (e.cls == OpClass::Branch && e.mispredicted) {
+                // Redirect: fetch restarts after resolution plus the
+                // pipeline-refill penalty.
+                fetchResume_ = done +
+                    static_cast<uint64_t>(cfg_.mispredictPenaltyCycles);
+                waitingBranch_ = false;
+            }
+        }
+        pending_.resize(keep);
+    }
+
+    void
+    commit(uint64_t cycle)
+    {
+        for (int c = 0; c < cfg_.commitWidth && robCount_ > 0; ++c) {
+            RobEntry &head = rob_[headIdx_ & kRobMask];
+            if (!head.issued || head.doneAt > cycle)
+                break;
+            if (head.hasDest) {
+                if (head.fpDest)
+                    --fpRegsUsed_;
+                else
+                    --intRegsUsed_;
+            }
+            switch (head.cls) {
+              case OpClass::Load:
+                --lsqLoads_;
+                break;
+              case OpClass::Store:
+                --lsqStores_;
+                break;
+              case OpClass::Branch:
+                --inflightBranches_;
+                break;
+              default:
+                break;
+            }
+            --robCount_;
+            ++headIdx_;
+            ++committed_;
+        }
+    }
+
+    const Trace &trace_;
+    const MachineConfig &cfg_;
+    MemorySystem mem_;
+    TournamentPredictor predictor_;
+    BranchTargetBuffer btb_;
+
+    std::vector<RobEntry> rob_;
+    size_t robCount_ = 0;
+    uint32_t headIdx_ = 0;  ///< trace index of the oldest in-flight op
+    std::vector<uint32_t> pending_;
+    std::vector<uint64_t> unissuedStoreBlocks_;
+
+    size_t fetchIdx_ = 0;
+    size_t end_ = 0;
+    uint64_t fetchResume_ = 0;
+    uint32_t lastFetchBlock_ = ~0u;
+    bool waitingBranch_ = false;
+
+    int intRegsUsed_ = 0;
+    int fpRegsUsed_ = 0;
+    int lsqLoads_ = 0;
+    int lsqStores_ = 0;
+    int inflightBranches_ = 0;
+
+    size_t committed_ = 0;
+    uint64_t branches_ = 0;
+    uint64_t mispredicts_ = 0;
+};
+
+} // namespace
+
+SimResult
+simulate(const Trace &trace, const MachineConfig &cfg,
+         const SimOptions &opts)
+{
+    Pipeline pipeline(trace, cfg);
+    return pipeline.run(opts);
+}
+
+} // namespace sim
+} // namespace dse

@@ -1,0 +1,77 @@
+#include "sim/energy.hh"
+
+#include <cmath>
+
+namespace dse {
+namespace sim {
+
+namespace {
+
+/// 90 nm-flavoured constants (orders of magnitude, not sign-off
+/// numbers): dynamic energy per event in nanojoules.
+constexpr double kCorePerInstrNj = 0.35;     ///< base per-instruction
+constexpr double kWidthPerInstrNj = 0.06;    ///< per extra issue slot
+constexpr double kRobPerInstrNjPer64 = 0.04; ///< window bookkeeping
+constexpr double kDramPerAccessNj = 12.0;
+/// Leakage power in mW per KB of on-chip SRAM.
+constexpr double kLeakMwPerKb = 0.02;
+/// Core leakage floor in mW, plus per-issue-slot adder.
+constexpr double kCoreLeakMw = 60.0;
+constexpr double kCoreLeakPerSlotMw = 18.0;
+
+/** CACTI-flavoured dynamic energy per cache access (nJ). */
+double
+cacheAccessNj(const CacheConfig &cache)
+{
+    // Energy grows with capacity (bit/word lines) and associativity
+    // (parallel way reads), mildly with block size.
+    return 0.05 + 0.012 * std::log2(static_cast<double>(cache.sizeKB)) +
+        0.008 * cache.assoc + 0.004 * (cache.blockBytes / 32.0);
+}
+
+} // namespace
+
+EnergyResult
+computeEnergy(const MachineConfig &cfg, const SimResult &result)
+{
+    EnergyResult e;
+    const double instr = static_cast<double>(result.instructions);
+
+    // Core dynamic: scales with machine width and window size.
+    const double per_instr = kCorePerInstrNj +
+        kWidthPerInstrNj * (cfg.issueWidth - 4) +
+        kRobPerInstrNjPer64 * (cfg.robSize / 64.0);
+    e.coreDynamicNj = per_instr * instr;
+
+    // Cache dynamic: every access costs the level's access energy;
+    // misses also pay the next level's fill (already counted as L2
+    // accesses) plus a transfer adder per block.
+    const double l1d_nj = cacheAccessNj(cfg.l1d);
+    const double l1i_nj = cacheAccessNj(cfg.l1i);
+    const double l2_nj = cacheAccessNj(cfg.l2);
+    e.cacheDynamicNj =
+        l1d_nj * static_cast<double>(result.l1dAccesses) +
+        l1i_nj * static_cast<double>(result.l1iAccesses) +
+        l2_nj * static_cast<double>(result.l2Accesses) +
+        0.02 * (cfg.l1d.blockBytes / 32.0) *
+            static_cast<double>(result.l1dMisses);
+
+    // DRAM dynamic.
+    e.dramDynamicNj =
+        kDramPerAccessNj * static_cast<double>(result.l2Misses);
+
+    // Leakage: SRAM area plus the core, integrated over runtime.
+    const double sram_kb = static_cast<double>(
+        cfg.l1d.sizeKB + cfg.l1i.sizeKB + cfg.l2.sizeKB);
+    const double leak_mw = kCoreLeakMw +
+        kCoreLeakPerSlotMw * cfg.issueWidth + kLeakMwPerKb * sram_kb;
+    const double seconds = static_cast<double>(result.cycles) /
+        (cfg.freqGHz * 1e9);
+    e.leakageNj = leak_mw * 1e-3 * seconds * 1e9;
+
+    e.edp = e.totalNj() * seconds;
+    return e;
+}
+
+} // namespace sim
+} // namespace dse

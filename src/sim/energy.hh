@@ -1,0 +1,56 @@
+/**
+ * @file
+ * First-order energy model over simulation results.
+ *
+ * The paper predicts IPC but notes the mechanism generalizes to any
+ * statistic; the multivariate power/performance analyses it cites
+ * (Cai et al. [1], Chow & Ding [3]) motivate energy as the natural
+ * second metric. This model computes energy the way early-2000s
+ * architecture studies did: per-event dynamic energies (scaled by
+ * structure size, CACTI-style) plus leakage proportional to area and
+ * time. It is deliberately simple — its purpose is to give the
+ * predictive-modeling layer a second, differently-shaped response
+ * surface (energy *rises* with cache size where IPC rises too, so
+ * energy-delay exposes real tradeoffs).
+ */
+
+#ifndef DSE_SIM_ENERGY_HH
+#define DSE_SIM_ENERGY_HH
+
+#include "sim/config.hh"
+
+namespace dse {
+namespace sim {
+
+/** Energy accounting for one simulation. */
+struct EnergyResult
+{
+    double coreDynamicNj = 0.0;    ///< per-instruction core energy
+    double cacheDynamicNj = 0.0;   ///< L1/L2 access + miss handling
+    double dramDynamicNj = 0.0;    ///< off-chip accesses
+    double leakageNj = 0.0;        ///< area- and time-proportional
+
+    double totalNj() const
+    {
+        return coreDynamicNj + cacheDynamicNj + dramDynamicNj +
+            leakageNj;
+    }
+
+    /** Energy-delay product in nJ*s (the classic efficiency metric). */
+    double edp = 0.0;
+};
+
+/**
+ * Evaluate the energy model on a finished simulation.
+ *
+ * @param cfg the simulated machine
+ * @param result its statistics
+ * @return the energy breakdown and EDP
+ */
+EnergyResult computeEnergy(const MachineConfig &cfg,
+                           const SimResult &result);
+
+} // namespace sim
+} // namespace dse
+
+#endif // DSE_SIM_ENERGY_HH

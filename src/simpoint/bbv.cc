@@ -1,0 +1,62 @@
+#include "simpoint/bbv.hh"
+
+#include <stdexcept>
+
+#include "util/rng.hh"
+
+namespace dse {
+namespace simpoint {
+
+std::vector<std::vector<double>>
+computeBbvs(const workload::Trace &trace, size_t interval_length)
+{
+    if (interval_length == 0)
+        throw std::invalid_argument("interval length must be positive");
+    const size_t intervals = trace.size() / interval_length;
+    std::vector<std::vector<double>> bbvs(
+        intervals, std::vector<double>(trace.numBlocks, 0.0));
+
+    for (size_t i = 0; i < intervals * interval_length; ++i) {
+        const auto &op = trace.ops[i];
+        bbvs[i / interval_length][op.block] += 1.0;
+    }
+    for (auto &v : bbvs) {
+        for (double &x : v)
+            x /= static_cast<double>(interval_length);
+    }
+    return bbvs;
+}
+
+std::vector<std::vector<double>>
+randomProject(const std::vector<std::vector<double>> &vectors, size_t dims,
+              uint64_t seed)
+{
+    if (vectors.empty())
+        return {};
+    const size_t width = vectors.front().size();
+    Rng rng(seed);
+
+    // Projection matrix with entries uniform on [-1, 1] (as in the
+    // SimPoint tool).
+    std::vector<double> proj(width * dims);
+    for (double &p : proj)
+        p = rng.uniform(-1.0, 1.0);
+
+    std::vector<std::vector<double>> out(
+        vectors.size(), std::vector<double>(dims, 0.0));
+    for (size_t v = 0; v < vectors.size(); ++v) {
+        if (vectors[v].size() != width)
+            throw std::invalid_argument("inconsistent vector widths");
+        for (size_t i = 0; i < width; ++i) {
+            const double x = vectors[v][i];
+            if (x == 0.0)
+                continue;
+            for (size_t d = 0; d < dims; ++d)
+                out[v][d] += x * proj[i * dims + d];
+        }
+    }
+    return out;
+}
+
+} // namespace simpoint
+} // namespace dse

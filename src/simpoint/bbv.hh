@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Basic-block vectors (BBVs) for SimPoint [23].
+ *
+ * A trace is divided into fixed-length intervals; each interval's BBV
+ * counts how many instructions it executed in each static basic
+ * block, normalized to sum to one. Intervals from the same program
+ * phase have nearly identical BBVs — the structure SimPoint's
+ * clustering exploits. Following the SimPoint tool, BBVs are randomly
+ * projected to a low dimension before clustering.
+ */
+
+#ifndef DSE_SIMPOINT_BBV_HH
+#define DSE_SIMPOINT_BBV_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "workload/trace.hh"
+
+namespace dse {
+namespace simpoint {
+
+/** Default interval length in instructions (scaled to our traces as
+ *  the paper scaled 100M -> 10M for MinneSPEC). */
+constexpr size_t kDefaultIntervalLength = 2048;
+
+/**
+ * Compute per-interval normalized basic-block vectors.
+ *
+ * @param trace the dynamic trace
+ * @param interval_length instructions per interval; the trailing
+ *        partial interval (if any) is dropped
+ * @return one normalized vector of numBlocks entries per interval
+ */
+std::vector<std::vector<double>> computeBbvs(const workload::Trace &trace,
+                                             size_t interval_length);
+
+/**
+ * Random linear projection of vectors to `dims` dimensions (SimPoint
+ * projects BBVs to ~15 dimensions before clustering).
+ *
+ * @param vectors input vectors (all the same width)
+ * @param dims output dimensionality
+ * @param seed projection matrix seed (deterministic)
+ */
+std::vector<std::vector<double>> randomProject(
+    const std::vector<std::vector<double>> &vectors, size_t dims,
+    uint64_t seed);
+
+} // namespace simpoint
+} // namespace dse
+
+#endif // DSE_SIMPOINT_BBV_HH

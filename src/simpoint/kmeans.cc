@@ -1,0 +1,160 @@
+#include "simpoint/kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.hh"
+
+namespace dse {
+namespace simpoint {
+
+namespace {
+
+double
+sqDist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double d = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double diff = a[i] - b[i];
+        d += diff * diff;
+    }
+    return d;
+}
+
+} // namespace
+
+KMeansResult
+kmeans(const std::vector<std::vector<double>> &points, int k, uint64_t seed,
+       int max_iters)
+{
+    if (points.empty())
+        throw std::invalid_argument("kmeans needs points");
+    k = std::min<int>(k, static_cast<int>(points.size()));
+    if (k < 1)
+        throw std::invalid_argument("kmeans needs k >= 1");
+
+    Rng rng(seed);
+    const size_t n = points.size();
+    const size_t dims = points.front().size();
+
+    // k-means++ seeding.
+    std::vector<std::vector<double>> centroids;
+    centroids.push_back(points[rng.below(n)]);
+    std::vector<double> dist2(n);
+    while (static_cast<int>(centroids.size()) < k) {
+        double total = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::infinity();
+            for (const auto &c : centroids)
+                best = std::min(best, sqDist(points[i], c));
+            dist2[i] = best;
+            total += best;
+        }
+        if (total <= 0.0) {
+            // All remaining points coincide with centroids.
+            centroids.push_back(points[rng.below(n)]);
+            continue;
+        }
+        double r = rng.uniform() * total;
+        size_t chosen = n - 1;
+        for (size_t i = 0; i < n; ++i) {
+            r -= dist2[i];
+            if (r < 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(points[chosen]);
+    }
+
+    std::vector<int> assignment(n, 0);
+    for (int iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        // Assign.
+        for (size_t i = 0; i < n; ++i) {
+            int best_c = 0;
+            double best = std::numeric_limits<double>::infinity();
+            for (int c = 0; c < k; ++c) {
+                const double d = sqDist(points[i], centroids[c]);
+                if (d < best) {
+                    best = d;
+                    best_c = c;
+                }
+            }
+            if (assignment[i] != best_c) {
+                assignment[i] = best_c;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+        // Update.
+        std::vector<std::vector<double>> sums(
+            k, std::vector<double>(dims, 0.0));
+        std::vector<size_t> counts(k, 0);
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t d = 0; d < dims; ++d)
+                sums[assignment[i]][d] += points[i][d];
+            ++counts[assignment[i]];
+        }
+        for (int c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                // Re-seed an empty cluster at a random point.
+                centroids[c] = points[rng.below(n)];
+                continue;
+            }
+            for (size_t d = 0; d < dims; ++d)
+                centroids[c][d] = sums[c][d] /
+                    static_cast<double>(counts[c]);
+        }
+    }
+
+    KMeansResult result;
+    result.k = k;
+    result.assignment = std::move(assignment);
+    result.centroids = std::move(centroids);
+    result.inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        result.inertia += sqDist(points[i],
+                                 result.centroids[result.assignment[i]]);
+    }
+    return result;
+}
+
+double
+bicScore(const std::vector<std::vector<double>> &points,
+         const KMeansResult &clustering)
+{
+    const double r = static_cast<double>(points.size());
+    const double dims = static_cast<double>(points.front().size());
+    const int k = clustering.k;
+
+    if (points.size() <= static_cast<size_t>(k))
+        return -std::numeric_limits<double>::infinity();
+
+    // Identical spherical Gaussians (Pelleg & Moore): ML variance
+    // estimate over all clusters.
+    const double variance = std::max(
+        clustering.inertia / (r - static_cast<double>(k)), 1e-12);
+
+    std::vector<size_t> counts(static_cast<size_t>(k), 0);
+    for (int a : clustering.assignment)
+        ++counts[static_cast<size_t>(a)];
+
+    double loglik = 0.0;
+    for (int c = 0; c < k; ++c) {
+        const double rc = static_cast<double>(counts[static_cast<size_t>(c)]);
+        if (rc <= 0.0)
+            continue;
+        loglik += rc * std::log(rc / r)
+            - rc * dims / 2.0 * std::log(2.0 * M_PI * variance)
+            - (rc - 1.0) / 2.0;
+    }
+    const double params = static_cast<double>(k) * (dims + 1.0);
+    return loglik - params / 2.0 * std::log(r);
+}
+
+} // namespace simpoint
+} // namespace dse

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * k-means clustering with k-means++ seeding and the Bayesian
+ * Information Criterion (BIC) score SimPoint uses to choose k.
+ */
+
+#ifndef DSE_SIMPOINT_KMEANS_HH
+#define DSE_SIMPOINT_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dse {
+namespace simpoint {
+
+/** Result of one k-means run. */
+struct KMeansResult
+{
+    std::vector<int> assignment;             ///< cluster per point
+    std::vector<std::vector<double>> centroids;
+    double inertia = 0.0;                    ///< sum of squared distances
+    int k = 0;
+};
+
+/**
+ * Lloyd's algorithm with k-means++ initialization.
+ *
+ * @param points input points (same dimensionality)
+ * @param k number of clusters (clamped to the number of points)
+ * @param seed deterministic initialization
+ * @param max_iters Lloyd iteration cap
+ */
+KMeansResult kmeans(const std::vector<std::vector<double>> &points, int k,
+                    uint64_t seed, int max_iters = 100);
+
+/**
+ * BIC score of a clustering under the identical-spherical-Gaussian
+ * model (Pelleg & Moore, as used by SimPoint). Higher is better.
+ */
+double bicScore(const std::vector<std::vector<double>> &points,
+                const KMeansResult &clustering);
+
+} // namespace simpoint
+} // namespace dse
+
+#endif // DSE_SIMPOINT_KMEANS_HH

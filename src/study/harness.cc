@@ -1,0 +1,152 @@
+#include "study/harness.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/env.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "workload/generator.hh"
+
+namespace dse {
+namespace study {
+
+StudyContext::StudyContext(StudyKind kind, const std::string &app,
+                           size_t trace_length)
+    : kind_(kind), app_(app), space_(spaceFor(kind)),
+      trace_(workload::generateBenchmarkTrace(app, trace_length))
+{
+}
+
+const sim::SimResult &
+StudyContext::simulateFull(uint64_t index)
+{
+    auto it = cache_.find(index);
+    if (it != cache_.end())
+        return it->second;
+
+    sim::SimOptions opts;
+    opts.warmCaches = true;
+    auto result = sim::simulate(trace_, config(index), opts);
+    return cache_.emplace(index, result).first->second;
+}
+
+double
+StudyContext::simulateIpc(uint64_t index)
+{
+    return simulateFull(index).ipc;
+}
+
+sim::MachineConfig
+StudyContext::config(uint64_t index) const
+{
+    return configFor(kind_, space_, space_.levels(index));
+}
+
+const simpoint::SimPoints &
+StudyContext::simPoints()
+{
+    if (!simPoints_) {
+        simpoint::SimPointOptions opts;
+        // Scale the interval to the trace (the paper scales 100M ->
+        // 10M for MinneSPEC): 16 intervals per trace. Shorter
+        // intervals are cheaper but their content stops being
+        // representative at this trace scale (EXPERIMENTS.md,
+        // "SimPoint scale").
+        opts.intervalLength = std::max<size_t>(2048, trace_.size() / 16);
+        opts.maxK = 6;
+        simPoints_ = std::make_unique<simpoint::SimPoints>(
+            simpoint::pickSimPoints(trace_, opts));
+    }
+    return *simPoints_;
+}
+
+double
+StudyContext::simulateSimPointIpc(uint64_t index)
+{
+    if (simPointScale_ == 0.0) {
+        // One-time calibration against the space's middle point.
+        const uint64_t ref = space_.size() / 2;
+        const double full = simulateFull(ref).ipc;
+        const double raw =
+            simpoint::estimateIpc(trace_, config(ref), simPoints()).ipc;
+        simPointScale_ = raw > 0.0 ? full / raw : 1.0;
+    }
+    auto it = simPointCache_.find(index);
+    if (it != simPointCache_.end())
+        return it->second;
+    const auto est = simpoint::estimateIpc(trace_, config(index),
+                                           simPoints());
+    const double calibrated = est.ipc * simPointScale_;
+    simPointCache_.emplace(index, calibrated);
+    return calibrated;
+}
+
+std::vector<uint64_t>
+holdoutIndices(const ml::DesignSpace &space,
+               const std::vector<uint64_t> &excluded, size_t n,
+               uint64_t seed)
+{
+    const uint64_t space_size = space.size();
+    std::unordered_set<uint64_t> banned(excluded.begin(), excluded.end());
+
+    if (n == 0 || n + banned.size() >= space_size) {
+        // Full-space evaluation: everything not excluded.
+        std::vector<uint64_t> all;
+        all.reserve(space_size - banned.size());
+        for (uint64_t i = 0; i < space_size; ++i) {
+            if (!banned.count(i))
+                all.push_back(i);
+        }
+        return all;
+    }
+
+    Rng rng(seed);
+    std::unordered_set<uint64_t> chosen;
+    std::vector<uint64_t> out;
+    out.reserve(n);
+    while (out.size() < n) {
+        const uint64_t idx = rng.below(space_size);
+        if (banned.count(idx) || chosen.count(idx))
+            continue;
+        chosen.insert(idx);
+        out.push_back(idx);
+    }
+    return out;
+}
+
+TrueError
+measureTrueError(StudyContext &ctx, const ml::Ensemble &model,
+                 const std::vector<uint64_t> &eval_points)
+{
+    std::vector<double> errors;
+    errors.reserve(eval_points.size());
+    for (uint64_t idx : eval_points) {
+        const double actual = ctx.simulateIpc(idx);
+        const double predicted =
+            model.predict(ctx.space().encodeIndex(idx));
+        errors.push_back(percentageError(predicted, actual));
+    }
+    TrueError out;
+    out.meanPct = mean(errors);
+    out.sdPct = stddev(errors);
+    return out;
+}
+
+BenchScope
+BenchScope::fromEnv(const std::vector<std::string> &default_apps)
+{
+    BenchScope scope;
+    scope.apps = envList("DSE_APPS", default_apps);
+    scope.evalPoints = static_cast<size_t>(
+        envInt("DSE_EVAL_POINTS", 1000));
+    if (envBool("DSE_FULL_SPACE", false))
+        scope.evalPoints = 0;
+    scope.traceLength = static_cast<size_t>(envInt("DSE_TRACE_LEN", 0));
+    scope.maxSamplePct = envDouble("DSE_MAX_SAMPLE_PCT", 4.5);
+    scope.batch = static_cast<size_t>(envInt("DSE_BATCH", 50));
+    return scope;
+}
+
+} // namespace study
+} // namespace dse

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Study harness: binds an application trace to a study's design
+ * space, memoizes simulations by design-point index, and provides the
+ * evaluation utilities the benchmarks share (holdout construction,
+ * true-error measurement, learning-curve sweeps).
+ */
+
+#ifndef DSE_STUDY_HARNESS_HH
+#define DSE_STUDY_HARNESS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/cross_validation.hh"
+#include "ml/encoding.hh"
+#include "sim/core.hh"
+#include "simpoint/simpoint.hh"
+#include "study/spaces.hh"
+#include "workload/trace.hh"
+
+namespace dse {
+namespace study {
+
+/**
+ * One (study, application) pair: the design space, the application's
+ * trace, and a memoized simulator keyed by design-point index.
+ *
+ * Simulations run with warmed caches/predictor (steady state; see
+ * SimOptions::warmCaches) so short synthetic traces behave like the
+ * paper's long MinneSPEC runs.
+ */
+class StudyContext
+{
+  public:
+    /**
+     * @param kind which design space
+     * @param app benchmark name (one of workload::benchmarkNames())
+     * @param trace_length dynamic trace length (0 = library default)
+     */
+    StudyContext(StudyKind kind, const std::string &app,
+                 size_t trace_length = 0);
+
+    const ml::DesignSpace &space() const { return space_; }
+    StudyKind kind() const { return kind_; }
+    const std::string &app() const { return app_; }
+    const workload::Trace &trace() const { return trace_; }
+
+    /** Full detailed simulation of one design point (memoized). */
+    const sim::SimResult &simulateFull(uint64_t index);
+
+    /** IPC of one design point (memoized full simulation). */
+    double simulateIpc(uint64_t index);
+
+    /** Machine configuration of a design point. */
+    sim::MachineConfig config(uint64_t index) const;
+
+    /** Number of distinct detailed simulations performed so far. */
+    size_t simulationsRun() const { return cache_.size(); }
+
+    /** Instructions per detailed simulation (trace length). */
+    size_t instructionsPerSimulation() const { return trace_.size(); }
+
+    /**
+     * The application's SimPoint selection (computed once per
+     * context, configuration-independent, as in the SimPoint tool).
+     */
+    const simpoint::SimPoints &simPoints();
+
+    /**
+     * SimPoint *estimate* of a design point's IPC: only the
+     * representative intervals are simulated in detail (memoized).
+     * This is the noisy-but-cheap signal the ANN+SimPoint study
+     * trains on (Section 5.3).
+     *
+     * Estimates are calibrated once per application against a single
+     * full simulation of a reference configuration, which removes
+     * the constant bias a fixed representative-interval choice
+     * carries on short traces. The calibration cost (one detailed
+     * simulation) is amortized over the whole exploration.
+     */
+    double simulateSimPointIpc(uint64_t index);
+
+    /** Detailed instructions per SimPoint estimate (including the
+     *  half-interval detailed warm-up each representative pays). */
+    size_t
+    simPointInstructionsPerEstimate()
+    {
+        const auto &sp = simPoints();
+        return sp.intervals.size() *
+            (sp.intervalLength + sp.intervalLength / 2);
+    }
+
+  private:
+    StudyKind kind_;
+    std::string app_;
+    ml::DesignSpace space_;
+    workload::Trace trace_;
+    std::unordered_map<uint64_t, sim::SimResult> cache_;
+    std::unordered_map<uint64_t, double> simPointCache_;
+    std::unique_ptr<simpoint::SimPoints> simPoints_;
+    double simPointScale_ = 0.0;  ///< lazily calibrated; 0 = not yet
+};
+
+/**
+ * A random holdout of design points for measuring *true* model error,
+ * disjoint from a set of excluded (training) indices.
+ *
+ * The paper measures error over every untrained point of the full
+ * space; a uniform random holdout estimates the same mean/SD
+ * unbiasedly at a fraction of the simulation cost (DESIGN.md,
+ * substitution table). Pass n >= space size to get the full space.
+ */
+std::vector<uint64_t> holdoutIndices(const ml::DesignSpace &space,
+                                     const std::vector<uint64_t> &excluded,
+                                     size_t n, uint64_t seed);
+
+/** True mean/SD of percentage error of a model over given points. */
+struct TrueError
+{
+    double meanPct = 0.0;
+    double sdPct = 0.0;
+};
+
+/**
+ * Measure a trained ensemble against detailed simulation on the given
+ * evaluation points (simulations are memoized in the context).
+ */
+TrueError measureTrueError(StudyContext &ctx, const ml::Ensemble &model,
+                           const std::vector<uint64_t> &eval_points);
+
+/**
+ * Shared benchmark-harness scope knobs (read from the environment;
+ * see DESIGN.md "Per-experiment index").
+ */
+struct BenchScope
+{
+    std::vector<std::string> apps;  ///< applications to run
+    size_t evalPoints = 1000;       ///< holdout size (0 = full space)
+    size_t traceLength = 0;         ///< 0 = library default
+    double maxSamplePct = 4.5;      ///< learning-curve extent (% of space)
+    size_t batch = 50;              ///< training-set increment
+
+    /** Read DSE_APPS / DSE_EVAL_POINTS / DSE_* with these defaults. */
+    static BenchScope fromEnv(const std::vector<std::string> &default_apps);
+};
+
+} // namespace study
+} // namespace dse
+
+#endif // DSE_STUDY_HARNESS_HH

@@ -1,0 +1,161 @@
+#include "study/spaces.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/cacti.hh"
+
+namespace dse {
+namespace study {
+
+const char *
+studyName(StudyKind kind)
+{
+    return kind == StudyKind::MemorySystem ? "memory-system" : "processor";
+}
+
+ml::DesignSpace
+memorySystemSpace()
+{
+    ml::DesignSpace space;
+    space.addCardinal("L1DSizeKB", {8, 16, 32, 64});
+    space.addCardinal("L1DBlockB", {32, 64});
+    space.addCardinal("L1DAssoc", {1, 2, 4, 8});
+    space.addNominal("L1DWritePolicy", {"WT", "WB"});
+    space.addCardinal("L2SizeKB", {256, 512, 1024, 2048});
+    space.addCardinal("L2BlockB", {64, 128});
+    space.addCardinal("L2Assoc", {1, 2, 4, 8, 16});
+    space.addCardinal("L2BusB", {8, 16, 32});
+    space.addContinuous("FSBGHz", {0.533, 0.8, 1.4});
+    return space;
+}
+
+ml::DesignSpace
+processorSpace()
+{
+    ml::DesignSpace space;
+    space.addCardinal("Width", {4, 6, 8});
+    space.addContinuous("FreqGHz", {2, 4});
+    space.addCardinal("MaxBranches", {16, 32});
+    space.addCardinal("BPEntries", {1024, 2048, 4096});
+    space.addCardinal("BTBSets", {1024, 2048});
+    space.addCardinal("FunctionalUnits", {4, 8});
+    space.addCardinal("ROBSize", {96, 128, 160});
+    // Two register-file choices per ROB size (Table 4.2): a selector
+    // whose concrete value processorConfig() resolves.
+    space.addNominal("RegFileChoice", {"small", "large"});
+    space.addCardinal("LSQEntries", {32, 48, 64});
+    space.addCardinal("L1ISizeKB", {8, 32});
+    space.addCardinal("L1DSizeKB", {8, 32});
+    space.addCardinal("L2SizeKB", {256, 1024});
+    return space;
+}
+
+sim::MachineConfig
+memorySystemConfig(const ml::DesignSpace &space,
+                   const std::vector<int> &levels)
+{
+    sim::MachineConfig cfg;  // defaults are the Table 4.1 fixed core
+
+    cfg.l1d.sizeKB = static_cast<int>(space.valueOf("L1DSizeKB", levels));
+    cfg.l1d.blockBytes =
+        static_cast<int>(space.valueOf("L1DBlockB", levels));
+    cfg.l1d.assoc = static_cast<int>(space.valueOf("L1DAssoc", levels));
+    cfg.l1d.writeBack = space.labelOf("L1DWritePolicy", levels) == "WB";
+
+    cfg.l2.sizeKB = static_cast<int>(space.valueOf("L2SizeKB", levels));
+    cfg.l2.blockBytes = static_cast<int>(space.valueOf("L2BlockB", levels));
+    cfg.l2.assoc = static_cast<int>(space.valueOf("L2Assoc", levels));
+    cfg.l2.writeBack = true;
+
+    cfg.l2BusBytes = static_cast<int>(space.valueOf("L2BusB", levels));
+    cfg.fsbGHz = space.valueOf("FSBGHz", levels);
+
+    sim::CactiModel::applyLatencies(cfg);
+    // The paper's fixed L1I is 32 KB with a 2-cycle latency.
+    cfg.l1iLatency = 2;
+    return cfg;
+}
+
+sim::MachineConfig
+processorConfig(const ml::DesignSpace &space,
+                const std::vector<int> &levels)
+{
+    sim::MachineConfig cfg;
+
+    const int width = static_cast<int>(space.valueOf("Width", levels));
+    cfg.fetchWidth = cfg.issueWidth = cfg.commitWidth = width;
+
+    cfg.freqGHz = space.valueOf("FreqGHz", levels);
+    // 11- and 20-cycle minimum penalties at 2 and 4 GHz (Chapter 4).
+    cfg.mispredictPenaltyCycles = cfg.freqGHz >= 3.0 ? 20 : 11;
+
+    cfg.maxBranches =
+        static_cast<int>(space.valueOf("MaxBranches", levels));
+    cfg.bpEntries = static_cast<int>(space.valueOf("BPEntries", levels));
+    cfg.btbSets = static_cast<int>(space.valueOf("BTBSets", levels));
+
+    const int fu =
+        static_cast<int>(space.valueOf("FunctionalUnits", levels));
+    cfg.intAluUnits = fu;
+    cfg.fpUnits = fu / 2;
+
+    cfg.robSize = static_cast<int>(space.valueOf("ROBSize", levels));
+    // Register file: two choices per ROB size (96 -> 64/80,
+    // 128 -> 80/96, 160 -> 96/112).
+    const bool large = space.labelOf("RegFileChoice", levels) == "large";
+    int regs = 0;
+    switch (cfg.robSize) {
+      case 96: regs = large ? 80 : 64; break;
+      case 128: regs = large ? 96 : 80; break;
+      case 160: regs = large ? 112 : 96; break;
+      default:
+        throw std::logic_error("unexpected ROB size");
+    }
+    cfg.intRegs = cfg.fpRegs = regs;
+
+    const int lsq = static_cast<int>(space.valueOf("LSQEntries", levels));
+    cfg.lsqLoads = cfg.lsqStores = lsq;
+
+    // Caches: associativity and (for L2) geometry depend on size
+    // (Table 4.2 right side).
+    cfg.l1i.sizeKB = static_cast<int>(space.valueOf("L1ISizeKB", levels));
+    cfg.l1i.blockBytes = 32;
+    cfg.l1i.assoc = cfg.l1i.sizeKB >= 32 ? 2 : 1;
+    cfg.l1i.writeBack = true;
+
+    cfg.l1d.sizeKB = static_cast<int>(space.valueOf("L1DSizeKB", levels));
+    cfg.l1d.blockBytes = 32;
+    cfg.l1d.assoc = cfg.l1d.sizeKB >= 32 ? 2 : 1;
+    cfg.l1d.writeBack = true;
+
+    cfg.l2.sizeKB = static_cast<int>(space.valueOf("L2SizeKB", levels));
+    cfg.l2.blockBytes = 64;
+    cfg.l2.assoc = cfg.l2.sizeKB >= 1024 ? 8 : 4;
+    cfg.l2.writeBack = true;
+
+    cfg.l2BusBytes = 32;
+    cfg.fsbGHz = 0.8;
+
+    sim::CactiModel::applyLatencies(cfg);
+    return cfg;
+}
+
+ml::DesignSpace
+spaceFor(StudyKind kind)
+{
+    return kind == StudyKind::MemorySystem ? memorySystemSpace()
+                                           : processorSpace();
+}
+
+sim::MachineConfig
+configFor(StudyKind kind, const ml::DesignSpace &space,
+          const std::vector<int> &levels)
+{
+    return kind == StudyKind::MemorySystem
+        ? memorySystemConfig(space, levels)
+        : processorConfig(space, levels);
+}
+
+} // namespace study
+} // namespace dse

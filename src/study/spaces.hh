@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The paper's two sensitivity studies (Chapter 4): the memory-system
+ * design space (Table 4.1, 23,040 points) and the processor design
+ * space (Table 4.2, 20,736 points), plus the mapping from a design
+ * point to a full simulator configuration (including the fixed and
+ * dependent parameters on the right-hand sides of the tables).
+ */
+
+#ifndef DSE_STUDY_SPACES_HH
+#define DSE_STUDY_SPACES_HH
+
+#include <vector>
+
+#include "ml/encoding.hh"
+#include "sim/config.hh"
+
+namespace dse {
+namespace study {
+
+/** Which of the paper's two studies. */
+enum class StudyKind { MemorySystem, Processor };
+
+/** Human-readable study name. */
+const char *studyName(StudyKind kind);
+
+/**
+ * Memory-system design space (Table 4.1). Varies L1D geometry and
+ * write policy, L2 geometry, L2 bus width, and FSB frequency:
+ * 4*2*4*2 * 4*2*5 * 3*3 = 23,040 points.
+ */
+ml::DesignSpace memorySystemSpace();
+
+/**
+ * Processor design space (Table 4.2). Varies width, frequency, branch
+ * structures, functional units, ROB/register file/LSQ, and cache
+ * sizes: 20,736 points. The register file is a two-way selector whose
+ * concrete size depends on the ROB size, exactly as the paper couples
+ * them ("2 choices per ROB size").
+ */
+ml::DesignSpace processorSpace();
+
+/**
+ * Resolve a memory-system design point to a machine configuration
+ * (fixed core: 4 GHz, 4-wide, 128-entry ROB, 32 KB/2-cycle L1I,
+ * tournament predictor; Table 4.1 right side). Derived cache
+ * latencies are filled via the CACTI model.
+ */
+sim::MachineConfig memorySystemConfig(const ml::DesignSpace &space,
+                                      const std::vector<int> &levels);
+
+/**
+ * Resolve a processor design point to a machine configuration
+ * (dependent parameters: L1/L2 associativities tied to sizes,
+ * register file tied to ROB, misprediction penalty tied to frequency;
+ * Table 4.2 right side).
+ */
+sim::MachineConfig processorConfig(const ml::DesignSpace &space,
+                                   const std::vector<int> &levels);
+
+/** Space for a study kind. */
+ml::DesignSpace spaceFor(StudyKind kind);
+
+/** Config mapping for a study kind. */
+sim::MachineConfig configFor(StudyKind kind, const ml::DesignSpace &space,
+                             const std::vector<int> &levels);
+
+} // namespace study
+} // namespace dse
+
+#endif // DSE_STUDY_SPACES_HH

@@ -1,0 +1,144 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dse {
+
+void
+OnlineStats::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const size_t total = n_ + other.n_;
+    const double nd = static_cast<double>(n_);
+    const double od = static_cast<double>(other.n_);
+    mean_ += delta * od / static_cast<double>(total);
+    m2_ += other.m2_ + delta * delta * nd * od / static_cast<double>(total);
+    n_ = total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Summary
+summarize(const std::vector<double> &xs)
+{
+    OnlineStats acc;
+    for (double x : xs)
+        acc.add(x);
+    Summary s;
+    s.mean = acc.mean();
+    s.stddev = acc.stddev();
+    s.min = acc.count() ? acc.min() : 0.0;
+    s.max = acc.count() ? acc.max() : 0.0;
+    s.count = acc.count();
+    return s;
+}
+
+double
+percentageError(double predicted, double actual, double cap)
+{
+    if (actual == 0.0)
+        return predicted == 0.0 ? 0.0 : cap;
+    const double err = 100.0 * std::abs(predicted - actual) / std::abs(actual);
+    return std::min(err, cap);
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - m) * (x - m);
+    return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    assert(xs.size() == ys.size());
+    if (xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+interpolate(const std::vector<double> &xs, const std::vector<double> &ys,
+            double x)
+{
+    assert(xs.size() == ys.size());
+    assert(!xs.empty());
+    if (x <= xs.front())
+        return ys.front();
+    if (x >= xs.back())
+        return ys.back();
+    for (size_t i = 1; i < xs.size(); ++i) {
+        if (x <= xs[i]) {
+            const double span = xs[i] - xs[i - 1];
+            if (span == 0.0)
+                return ys[i];
+            const double t = (x - xs[i - 1]) / span;
+            return ys[i - 1] + t * (ys[i] - ys[i - 1]);
+        }
+    }
+    return ys.back();
+}
+
+} // namespace dse

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Small statistics helpers used throughout the library: single-pass
+ * (Welford) accumulation of mean/variance, batch summaries, and the
+ * percentage-error metric the paper reports (error as a percentage of
+ * the true simulation result, Section 3.3).
+ */
+
+#ifndef DSE_UTIL_STATS_HH
+#define DSE_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dse {
+
+/**
+ * Numerically stable single-pass accumulator for mean and standard
+ * deviation (Welford's algorithm).
+ */
+class OnlineStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (Chan et al.). */
+    void merge(const OnlineStats &other);
+
+    /** Number of observations so far. */
+    size_t count() const { return n_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two observations. */
+    double variance() const;
+
+    /** Square root of variance(). */
+    double stddev() const;
+
+    /** Smallest observation; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest observation; -inf when empty. */
+    double max() const { return max_; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 1.0 / 0.0;
+    double max_ = -1.0 / 0.0;
+};
+
+/** Summary of a batch of observations. */
+struct Summary
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    size_t count = 0;
+};
+
+/** Summarize a vector of observations. */
+Summary summarize(const std::vector<double> &xs);
+
+/**
+ * Percentage error of a prediction with respect to the true value:
+ * 100 * |predicted - actual| / |actual|.
+ *
+ * The paper reports all model errors this way (erring by one second
+ * matters if the run takes two seconds, not if it takes an hour).
+ * Returns 0 for actual == 0 && predicted == 0 and caps the value at
+ * `cap` to keep one degenerate point from dominating a mean.
+ */
+double percentageError(double predicted, double actual, double cap = 1000.0);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Unbiased sample standard deviation; 0 with fewer than two points. */
+double stddev(const std::vector<double> &xs);
+
+/** Pearson correlation of two equal-length vectors; 0 if degenerate. */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/**
+ * Linear interpolation of y at x over a piecewise-linear curve given
+ * by sorted xs. Clamps outside the domain.
+ */
+double interpolate(const std::vector<double> &xs, const std::vector<double> &ys,
+                   double x);
+
+} // namespace dse
+
+#endif // DSE_UTIL_STATS_HH

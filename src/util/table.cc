@@ -1,0 +1,117 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace dse {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::newRow()
+{
+    rows_.emplace_back();
+}
+
+void
+Table::add(const std::string &cell)
+{
+    if (rows_.empty())
+        newRow();
+    rows_.back().push_back(cell);
+}
+
+void
+Table::add(double value, int prec)
+{
+    add(formatFixed(value, prec));
+}
+
+void
+Table::add(long long value)
+{
+    add(std::to_string(value));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cell;
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    os << join(headers_, ",") << '\n';
+    for (const auto &row : rows_)
+        os << join(row, ",") << '\n';
+}
+
+std::string
+formatFixed(double value, int prec)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << value;
+    return os.str();
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : s) {
+        if (ch == delim) {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+} // namespace dse

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Plain-text table formatting for benchmark harness output. Every
+ * bench binary prints the rows/series of the paper table or figure it
+ * regenerates; this gives them one consistent, aligned format plus an
+ * optional CSV dump for plotting.
+ */
+
+#ifndef DSE_UTIL_TABLE_HH
+#define DSE_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dse {
+
+/**
+ * A simple column-aligned text table. Cells are strings; numeric
+ * convenience setters format with fixed precision.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent add() calls fill it left to right. */
+    void newRow();
+
+    /** Append a string cell to the current row. */
+    void add(const std::string &cell);
+
+    /** Append a formatted floating-point cell (fixed, `prec` digits). */
+    void add(double value, int prec = 2);
+
+    /** Append an integer cell. */
+    void add(long long value);
+
+    /** Number of data rows so far. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Render aligned text to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render comma-separated values (header + rows) to a stream. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string formatFixed(double value, int prec);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts, const std::string &sep);
+
+/** Split a string on a delimiter, dropping empty pieces. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+} // namespace dse
+
+#endif // DSE_UTIL_TABLE_HH

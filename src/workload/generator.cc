@@ -1,0 +1,535 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace dse {
+namespace workload {
+
+namespace {
+
+/** How a static memory instruction computes its addresses. */
+enum class AccessKind : uint8_t { Stack, Stream, Random, Chase, Cold };
+
+/** One slot of a static basic block. */
+struct StaticOp
+{
+    OpClass cls = OpClass::IntAlu;
+    bool fpDest = false;
+};
+
+/** A static basic block: fixed instruction sequence plus metadata. */
+struct StaticBlock
+{
+    std::vector<StaticOp> ops;
+    uint32_t basePc = 0;
+    uint16_t id = 0;
+    int16_t branchId = -1;  ///< -1 when the block does not end in a branch
+};
+
+/** Behavioural model of one static conditional branch. */
+struct StaticBranch
+{
+    bool isLoop = false;
+    double bias = 0.8;     ///< stationary taken probability (data branches)
+    double corr = 0.7;     ///< P(outcome == previous outcome)
+    double noise = 0.05;   ///< probability of defying the model
+    /**
+     * Characteristic trip count of a loop branch. Real loops have
+     * stable trip counts (bounds rarely change between entries), so
+     * each entry draws near this value rather than from a memoryless
+     * distribution — that stability is what makes loop exits
+     * predictable by a local-history predictor.
+     */
+    double meanTrip = 24.0;
+    bool lastOutcome = true;
+    int tripRemaining = 0; ///< loop iterations left before exit
+};
+
+/** A loop region: blocks [first, last] executed as one loop body. */
+struct LoopRegion
+{
+    int first = 0;
+    int last = 0;
+};
+
+/** All static code and dynamic state for one phase. */
+struct PhaseCode
+{
+    const PhaseProfile *profile = nullptr;
+    std::vector<int> blockIdx;    ///< global indices of this phase's blocks
+    std::vector<LoopRegion> loops;
+    // Memory-generator state.
+    uint64_t wsetBase = 0;
+    uint64_t wsetSize = 0;
+    std::vector<uint64_t> streamPos;
+    std::vector<uint64_t> streamBase;
+    std::vector<uint64_t> streamSize;
+    std::vector<uint64_t> streamStride;
+};
+
+/// Memory layout constants. All phases share one data region (real
+/// phases traverse the same arrays differently — sharing keeps the
+/// hot head resident across phase changes); phases differ in how far
+/// into the region their working sets extend and in their access
+/// mixes. Code regions are disjoint per phase.
+constexpr uint64_t kStackBase = 0x7ff0000000ull;
+constexpr uint64_t kStackSize = 8 * 1024;
+/// Cold (never-reused) accesses march page by page through their own
+/// region, one page per access, so they never hit anything.
+constexpr uint64_t kColdBase = 0x4000000000ull;
+constexpr uint64_t kDataRegionBase = 0x10000000ull;
+constexpr uint32_t kCodeRegionStride = 0x100000u;
+
+/**
+ * Deterministically scatter a hot-block rank across a region.
+ *
+ * Exponential draws concentrate at low ranks; mapping rank to block
+ * straight through would pile every region's hot head onto the same
+ * low cache sets and melt direct-mapped caches with conflicts no real
+ * layout exhibits. A multiplicative hash spreads the hot blocks
+ * uniformly over the region (and thus over cache sets) while keeping
+ * the *number* of hot blocks — the property that drives capacity
+ * behaviour — exactly the same.
+ */
+uint64_t
+scatterBlock(uint64_t rank, uint64_t region_blocks)
+{
+    return (rank * 0x9e3779b97f4a7c15ull) % region_blocks;
+}
+
+/** Draw a geometric-ish positive integer with the given mean. */
+int
+geometric(Rng &rng, double mean_value)
+{
+    if (mean_value <= 1.0)
+        return 1;
+    const double p = 1.0 / mean_value;
+    int v = 1;
+    while (v < 4096 && !rng.chance(p))
+        ++v;
+    return v;
+}
+
+/**
+ * Pick the OpClass for one non-branch slot. Branches live at block
+ * ends at a rate set by the block length, so body slots draw from
+ * the mix conditioned on "not a branch".
+ */
+OpClass
+drawOpClass(Rng &rng, const PhaseProfile &p)
+{
+    double r = rng.uniform() * std::max(1e-9, 1.0 - p.fBranch);
+    if ((r -= p.fLoad) < 0)
+        return OpClass::Load;
+    if ((r -= p.fStore) < 0)
+        return OpClass::Store;
+    if ((r -= p.fFpAlu) < 0)
+        return OpClass::FpAlu;
+    if ((r -= p.fFpMul) < 0)
+        return OpClass::FpMul;
+    if ((r -= p.fIntMul) < 0)
+        return OpClass::IntMul;
+    return OpClass::IntAlu;
+}
+
+/** Pick the address-generation kind for a static memory slot. */
+AccessKind
+drawAccessKind(Rng &rng, const PhaseProfile &p, bool is_load)
+{
+    double r = rng.uniform();
+    if ((r -= p.stackFrac) < 0)
+        return AccessKind::Stack;
+    if ((r -= p.streamFrac) < 0)
+        return AccessKind::Stream;
+    if (is_load && (r -= p.pointerFrac) < 0)
+        return AccessKind::Chase;
+    if ((r -= p.coldFrac) < 0)
+        return AccessKind::Cold;
+    return AccessKind::Random;
+}
+
+/**
+ * Builds static code for all phases, then walks it dynamically.
+ */
+class TraceBuilder
+{
+  public:
+    TraceBuilder(const AppProfile &app, size_t length)
+        : app_(app), length_(length), rng_(app.seed)
+    {
+        if (app.phases.empty() || app.schedule.empty())
+            throw std::invalid_argument(
+                "profile needs at least one phase and schedule entry");
+        buildStaticCode();
+    }
+
+    Trace
+    build()
+    {
+        Trace trace;
+        trace.app = app_.name;
+        trace.ops.reserve(length_);
+
+        for (const auto &[phase_idx, frac] : app_.schedule) {
+            if (phase_idx < 0 ||
+                phase_idx >= static_cast<int>(app_.phases.size())) {
+                throw std::invalid_argument("schedule references bad phase");
+            }
+            const size_t budget = static_cast<size_t>(
+                std::llround(frac * static_cast<double>(length_)));
+            runPhase(trace, phase_idx, budget);
+            if (trace.ops.size() >= length_)
+                break;
+        }
+        // Rounding may leave a shortfall; top up with the last phase.
+        while (trace.ops.size() < length_)
+            runPhase(trace, app_.schedule.back().first,
+                     length_ - trace.ops.size());
+        trace.ops.resize(length_);
+
+        trace.numBlocks = static_cast<uint16_t>(blocks_.size());
+        trace.numBranches = static_cast<int16_t>(branches_.size());
+        return trace;
+    }
+
+  private:
+    void
+    buildStaticCode()
+    {
+        phases_.resize(app_.phases.size());
+        for (size_t p = 0; p < app_.phases.size(); ++p) {
+            const PhaseProfile &prof = app_.phases[p];
+            PhaseCode &code = phases_[p];
+            code.profile = &prof;
+
+            // Data layout: one region shared by all phases.
+            code.wsetBase = kDataRegionBase;
+            code.wsetSize = std::max<uint64_t>(
+                4096, static_cast<uint64_t>(prof.wsetBytes));
+            const int n_streams = std::max(1, prof.nStreams);
+            code.streamPos.resize(n_streams);
+            code.streamBase.resize(n_streams);
+            code.streamSize.resize(n_streams);
+            code.streamStride.resize(n_streams);
+            // Streams walk the region's tail so they do not march
+            // through (and evict) the exponentially hot head.
+            const uint64_t reserve = std::min(
+                code.wsetSize / 2,
+                static_cast<uint64_t>(4.0 * prof.hotBytes));
+            const uint64_t per_stream =
+                (code.wsetSize - reserve) / n_streams;
+            for (int s = 0; s < n_streams; ++s) {
+                code.streamBase[s] = code.wsetBase + reserve +
+                    per_stream * s;
+                code.streamSize[s] = std::max<uint64_t>(per_stream, 1024);
+                code.streamPos[s] = 0;
+                code.streamStride[s] = s < prof.blockStrideStreams
+                    ? 64 : static_cast<uint64_t>(
+                          std::max(1, prof.strideBytes));
+            }
+
+            // Static blocks.
+            uint32_t pc = kCodeRegionStride * static_cast<uint32_t>(p + 1);
+            const int n_blocks = std::max(4, prof.nBlocks);
+            const double p_branch = prof.fBranch;
+            for (int b = 0; b < n_blocks; ++b) {
+                StaticBlock blk;
+                blk.id = static_cast<uint16_t>(blocks_.size());
+                blk.basePc = pc;
+                // Block length realizes the phase's branch frequency:
+                // one branch per ~1/fBranch instructions.
+                const int target = std::clamp(static_cast<int>(
+                    std::lround(1.0 / std::max(p_branch, 0.04))) - 1,
+                    3, 20);
+                const int body_len = static_cast<int>(rng_.range(
+                    std::max(3, target - 2), target + 2));
+                for (int i = 0; i < body_len; ++i) {
+                    StaticOp op;
+                    op.cls = drawOpClass(rng_, prof);
+                    if (op.cls == OpClass::Branch)
+                        op.cls = OpClass::IntAlu;  // branches only at ends
+                    op.fpDest = op.cls == OpClass::FpAlu ||
+                                op.cls == OpClass::FpMul ||
+                                (op.cls == OpClass::Load &&
+                                 rng_.chance(prof.fFpAlu + prof.fFpMul));
+                    blk.ops.push_back(op);
+                }
+                // Most blocks end in a conditional branch; allocate its
+                // static behavioural model.
+                if (rng_.chance(0.8) && static_cast<int>(branches_.size()) <
+                        32000) {
+                    StaticOp br;
+                    br.cls = OpClass::Branch;
+                    blk.ops.push_back(br);
+                    blk.branchId = allocBranch(prof);
+                }
+                // One spare slot: loop-region construction may later
+                // append a back-edge branch to this block.
+                pc += static_cast<uint32_t>(4 * (blk.ops.size() + 1));
+                code.blockIdx.push_back(static_cast<int>(blocks_.size()));
+                blocks_.push_back(std::move(blk));
+            }
+
+            // Partition the phase's blocks into loop regions of 2-6
+            // blocks; the last block's branch becomes the back-edge.
+            size_t i = 0;
+            while (i < code.blockIdx.size()) {
+                const size_t span = std::min<size_t>(
+                    static_cast<size_t>(rng_.range(2, 6)),
+                    code.blockIdx.size() - i);
+                LoopRegion region;
+                region.first = static_cast<int>(i);
+                region.last = static_cast<int>(i + span - 1);
+                // Force the closing block's branch to be a loop branch.
+                StaticBlock &closing =
+                    blocks_[code.blockIdx[region.last]];
+                if (closing.branchId < 0) {
+                    StaticOp br;
+                    br.cls = OpClass::Branch;
+                    closing.ops.push_back(br);
+                    closing.branchId = allocBranch(prof);
+                }
+                branches_[closing.branchId].isLoop = true;
+                code.loops.push_back(region);
+                i += span;
+            }
+        }
+    }
+
+    int16_t
+    allocBranch(const PhaseProfile &prof)
+    {
+        StaticBranch br;
+        br.isLoop = rng_.chance(prof.loopBranchFrac);
+        br.bias = std::clamp(
+            rng_.gaussian(prof.branchBias, 0.08), 0.05, 0.98);
+        br.corr = std::clamp(rng_.gaussian(0.88, 0.06), 0.6, 0.97);
+        br.noise = prof.branchNoise;
+        // Log-normal spread of characteristic trip counts across the
+        // program's loops.
+        br.meanTrip = std::max(2.0, std::exp(
+            rng_.gaussian(std::log(prof.meanLoopTrip), 0.5)));
+        branches_.push_back(br);
+        return static_cast<int16_t>(branches_.size() - 1);
+    }
+
+    bool
+    drawBranchOutcome(StaticBranch &br)
+    {
+        bool outcome;
+        if (br.isLoop) {
+            if (br.tripRemaining <= 0) {
+                // Stable trip count with small jitter between entries.
+                br.tripRemaining = std::max(2, static_cast<int>(
+                    std::lround(br.meanTrip * rng_.uniform(0.85, 1.15))));
+            }
+            --br.tripRemaining;
+            outcome = br.tripRemaining > 0;  // taken = continue looping
+        } else {
+            // First-order Markov process around the branch bias.
+            const double p_taken = br.lastOutcome
+                ? br.bias + br.corr * (1.0 - br.bias)
+                : br.bias * (1.0 - br.corr);
+            outcome = rng_.chance(p_taken);
+        }
+        if (rng_.chance(br.noise))
+            outcome = !outcome;
+        br.lastOutcome = outcome;
+        return outcome;
+    }
+
+    uint64_t
+    drawAddress(PhaseCode &code, AccessKind kind)
+    {
+        switch (kind) {
+          case AccessKind::Stack: {
+            // Active frames concentrate near the top of the stack:
+            // exponentially distributed depth with ~1 KB decay,
+            // scattered across the stack's blocks.
+            const double d = -std::log(1.0 - rng_.uniform());
+            const uint64_t rank = static_cast<uint64_t>(d * 1024.0) / 64;
+            const uint64_t blk = scatterBlock(rank, kStackSize / 64);
+            return kStackBase + blk * 64 + rng_.below(8) * 8;
+          }
+          case AccessKind::Stream: {
+            const size_t s = static_cast<size_t>(
+                rng_.below(code.streamPos.size()));
+            const uint64_t addr = code.streamBase[s] + code.streamPos[s];
+            code.streamPos[s] += code.streamStride[s];
+            if (code.streamPos[s] >= code.streamSize[s])
+                code.streamPos[s] = 0;
+            return addr;
+          }
+          case AccessKind::Cold: {
+            const uint64_t addr = kColdBase + coldPtr_;
+            coldPtr_ += 4096;
+            return addr;
+          }
+          case AccessKind::Chase:
+          case AccessKind::Random: {
+            if (rng_.chance(code.profile->reuseProb)) {
+                // Hot set: exponentially distributed block rank, so a
+                // cache of size S captures ~1 - e^(-S/hotBytes) of
+                // these accesses — a smooth capacity response. Ranks
+                // are scattered across the region's blocks so hot
+                // data spreads evenly over cache sets.
+                const double d = -std::log(1.0 - rng_.uniform());
+                const uint64_t rank = static_cast<uint64_t>(
+                    d * code.profile->hotBytes) / 64;
+                const uint64_t blk =
+                    scatterBlock(rank, code.wsetSize / 64);
+                return code.wsetBase + blk * 64 + rng_.below(8) * 8;
+            }
+            return code.wsetBase + (rng_.below(code.wsetSize / 8) * 8);
+          }
+        }
+        return code.wsetBase;
+    }
+
+    /** Emit the dynamic instance of one static block. */
+    void
+    emitBlock(Trace &trace, PhaseCode &code, const StaticBlock &blk,
+              bool &branch_taken)
+    {
+        const PhaseProfile &prof = *code.profile;
+        branch_taken = false;
+        for (size_t i = 0; i < blk.ops.size(); ++i) {
+            const StaticOp &sop = blk.ops[i];
+            TraceOp op;
+            op.cls = sop.cls;
+            op.pc = blk.basePc + static_cast<uint32_t>(4 * i);
+            op.block = blk.id;
+            op.fpDest = sop.fpDest;
+
+            const int32_t idx = static_cast<int32_t>(trace.ops.size());
+            auto draw_dep = [&]() -> int32_t {
+                // A quarter of inputs come from long-dead values
+                // (constants, loop-invariant registers): no dependence.
+                if (rng_.chance(0.25))
+                    return 0;
+                const int d = geometric(rng_, prof.depDistMean);
+                return std::min<int32_t>(d, idx);
+            };
+
+            if (sop.cls == OpClass::Load || sop.cls == OpClass::Store) {
+                // The access pattern is drawn per dynamic access so
+                // the realized mix matches the phase profile exactly,
+                // independent of which static slots sit in hot loops.
+                const AccessKind kind = drawAccessKind(
+                    rng_, prof, sop.cls == OpClass::Load);
+                op.addr = drawAddress(code, kind);
+                op.noWarm = kind == AccessKind::Cold;
+                if (kind == AccessKind::Chase && lastChaseIdx_ >= 0 &&
+                    lastChaseIdx_ < idx) {
+                    // Address depends on the previous chased pointer.
+                    op.src1 = idx - lastChaseIdx_;
+                } else {
+                    op.src1 = idx > 0 ? draw_dep() : 0;
+                }
+                if (sop.cls == OpClass::Store)
+                    op.src2 = idx > 0 ? draw_dep() : 0;  // store data
+                if (kind == AccessKind::Chase && sop.cls == OpClass::Load)
+                    lastChaseIdx_ = idx;
+            } else if (sop.cls == OpClass::Branch) {
+                StaticBranch &br = branches_[blk.branchId];
+                op.branchId = blk.branchId;
+                op.taken = drawBranchOutcome(br);
+                branch_taken = op.taken;
+                op.src1 = idx > 0 ? draw_dep() : 0;  // condition input
+            } else {
+                op.src1 = idx > 0 ? draw_dep() : 0;
+                if (rng_.chance(0.6))
+                    op.src2 = idx > 0 ? draw_dep() : 0;
+            }
+            trace.ops.push_back(op);
+        }
+    }
+
+    /** Generate ~budget instructions by walking one phase's code. */
+    void
+    runPhase(Trace &trace, int phase_idx, size_t budget)
+    {
+        PhaseCode &code = phases_[phase_idx];
+        const size_t target = trace.ops.size() + budget;
+
+        size_t loop_idx = 0;
+        while (trace.ops.size() < target && trace.ops.size() < length_) {
+            const LoopRegion &region = code.loops[loop_idx];
+            // Execute one loop until its back-edge exits.
+            bool exited = false;
+            while (!exited && trace.ops.size() < target) {
+                int b = region.first;
+                while (b <= region.last) {
+                    const StaticBlock &blk = blocks_[code.blockIdx[b]];
+                    bool taken = false;
+                    emitBlock(trace, code, blk, taken);
+                    const bool is_backedge = b == region.last;
+                    if (is_backedge) {
+                        // Loop back-edge: taken repeats the body.
+                        exited = !taken;
+                        break;
+                    }
+                    // Intra-body data branch: taken skips a block,
+                    // perturbing the basic-block mix.
+                    b += taken ? 2 : 1;
+                }
+            }
+            // Move to another loop region, favouring the next one.
+            if (rng_.chance(0.75)) {
+                loop_idx = (loop_idx + 1) % code.loops.size();
+            } else {
+                loop_idx = static_cast<size_t>(
+                    rng_.below(code.loops.size()));
+            }
+        }
+    }
+
+    const AppProfile &app_;
+    const size_t length_;
+    Rng rng_;
+    std::vector<StaticBlock> blocks_;
+    std::vector<StaticBranch> branches_;
+    std::vector<PhaseCode> phases_;
+    int32_t lastChaseIdx_ = -1;
+    uint64_t coldPtr_ = 0;
+};
+
+} // namespace
+
+Trace
+generateTrace(const AppProfile &profile, size_t length)
+{
+    TraceBuilder builder(profile,
+                         length ? length : profile.traceLength);
+    return builder.build();
+}
+
+Trace
+generateBenchmarkTrace(const std::string &name, size_t length)
+{
+    return generateTrace(benchmarkProfile(name), length);
+}
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::FpAlu: return "FpAlu";
+      case OpClass::FpMul: return "FpMul";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::Branch: return "Branch";
+    }
+    return "?";
+}
+
+} // namespace workload
+} // namespace dse

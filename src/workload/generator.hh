@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Synthetic trace generation from application profiles.
+ *
+ * The generator first lays out *static code* for each phase — basic
+ * blocks with fixed instruction sequences, loop regions, and static
+ * branches — and then walks that code dynamically, drawing branch
+ * outcomes from per-branch behavioural models and memory addresses
+ * from per-slot access-pattern generators. The result is a fixed
+ * dynamic trace with the structure real programs have: stable
+ * per-block instruction sequences (so SimPoint's basic-block vectors
+ * are meaningful), loop-dominated control flow, phase alternation,
+ * and per-static-branch outcome processes that a real tournament
+ * predictor can (imperfectly) learn.
+ */
+
+#ifndef DSE_WORKLOAD_GENERATOR_HH
+#define DSE_WORKLOAD_GENERATOR_HH
+
+#include <cstddef>
+
+#include "workload/profile.hh"
+#include "workload/trace.hh"
+
+namespace dse {
+namespace workload {
+
+/** Default dynamic trace length used by the studies. */
+constexpr size_t kDefaultTraceLength = 32768;
+
+/**
+ * Generate the dynamic trace for an application.
+ *
+ * Deterministic: the same profile (including its seed) and length
+ * always produce the identical trace, so every machine configuration
+ * in a study replays the same instruction stream.
+ *
+ * @param profile application description
+ * @param length number of dynamic instructions; 0 uses the profile's
+ *        own traceLength (memory-bound codes carry longer defaults)
+ * @return the trace
+ */
+Trace generateTrace(const AppProfile &profile, size_t length = 0);
+
+/** Convenience: generate the trace for a named paper benchmark. */
+Trace generateBenchmarkTrace(const std::string &name, size_t length = 0);
+
+} // namespace workload
+} // namespace dse
+
+#endif // DSE_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,409 @@
+#include "workload/profile.hh"
+
+#include <stdexcept>
+
+namespace dse {
+namespace workload {
+
+namespace {
+
+/// Integer benchmark skeleton; callers override the distinguishing knobs.
+PhaseProfile
+intPhase()
+{
+    PhaseProfile p;
+    p.fLoad = 0.26;
+    p.fStore = 0.11;
+    p.fBranch = 0.17;
+    p.fFpAlu = 0.0;
+    p.fFpMul = 0.0;
+    p.fIntMul = 0.02;
+    return p;
+}
+
+/// Floating-point benchmark skeleton.
+PhaseProfile
+fpPhase()
+{
+    PhaseProfile p;
+    p.fLoad = 0.30;
+    p.fStore = 0.12;
+    p.fBranch = 0.06;
+    p.fFpAlu = 0.26;
+    p.fFpMul = 0.12;
+    p.fIntMul = 0.01;
+    p.loopBranchFrac = 0.85;
+    p.meanLoopTrip = 48.0;
+    p.branchBias = 0.92;
+    p.branchNoise = 0.02;
+    p.depDistMean = 10.0;
+    return p;
+}
+
+AppProfile
+makeGzip()
+{
+    // gzip: integer compression. Small hot working set with good
+    // locality, fairly predictable branches, a match/deflate phase
+    // alternation. Among the easiest codes to model (Table 5.1).
+    AppProfile app;
+    app.name = "gzip";
+    app.seed = 0x677a6970;
+    app.traceLength = 32768;
+
+    PhaseProfile deflate = intPhase();
+    deflate.wsetBytes = 192 * 1024;
+    deflate.streamFrac = 0.15;
+    deflate.stackFrac = 0.5;
+    deflate.reuseProb = 0.9;
+    deflate.hotBytes = 5 * 1024;
+    deflate.coldFrac = 0.005;
+    deflate.nStreams = 2;
+    deflate.strideBytes = 8;
+    deflate.depDistMean = 6.0;
+    deflate.branchBias = 0.86;
+    deflate.branchNoise = 0.03;
+    deflate.nStaticBranches = 96;
+    deflate.nBlocks = 72;
+
+    PhaseProfile match = deflate;
+    match.wsetBytes = 96 * 1024;
+    match.streamFrac = 0.1;
+    match.stackFrac = 0.55;
+    match.hotBytes = 4 * 1024;
+    match.depDistMean = 4.0;
+    match.branchBias = 0.78;
+    match.nBlocks = 56;
+
+    app.phases = {deflate, match};
+    app.schedule = {{0, 0.3}, {1, 0.25}, {0, 0.25}, {1, 0.2}};
+    return app;
+}
+
+AppProfile
+makeMcf()
+{
+    // mcf: network-simplex solver; the study's memory-bound extreme.
+    // Pointer chasing over an L2-straddling cyclic working set plus a
+    // heavy never-reused tail (sustained DRAM traffic): strongly
+    // sensitive to L2 capacity/latency, buses, and SDRAM.
+    AppProfile app;
+    app.name = "mcf";
+    app.seed = 0x6d6366;
+    app.traceLength = 131072;
+
+    PhaseProfile chase = intPhase();
+    chase.fLoad = 0.32;
+    chase.fStore = 0.09;
+    chase.wsetBytes = 512 * 1024;
+    chase.streamFrac = 0.12;        // block-stride churn (L2 capacity)
+    chase.nStreams = 1;
+    chase.blockStrideStreams = 1;
+    chase.pointerFrac = 0.22;       // L2-latency dependence chains
+    chase.stackFrac = 0.3;
+    chase.reuseProb = 0.55;
+    chase.hotBytes = 24 * 1024;
+    chase.coldFrac = 0.04;
+    chase.depDistMean = 4.0;
+    chase.branchBias = 0.80;
+    chase.branchNoise = 0.05;
+    chase.nStaticBranches = 80;
+    chase.nBlocks = 64;
+
+    PhaseProfile update = chase;
+    update.pointerFrac = 0.1;
+    update.streamFrac = 0.15;
+    update.coldFrac = 0.025;
+    update.reuseProb = 0.7;
+    update.depDistMean = 5.0;
+
+    app.phases = {chase, update};
+    app.schedule = {{0, 0.4}, {1, 0.2}, {0, 0.3}, {1, 0.1}};
+    return app;
+}
+
+AppProfile
+makeCrafty()
+{
+    // crafty: chess search. Small working set (fits in L1), very
+    // branchy with data-dependent branches, low memory sensitivity,
+    // high sensitivity to branch prediction and width.
+    AppProfile app;
+    app.name = "crafty";
+    app.seed = 0x63726166;
+    app.traceLength = 32768;
+
+    PhaseProfile search = intPhase();
+    search.fBranch = 0.20;
+    search.fLoad = 0.28;
+    search.wsetBytes = 96 * 1024;
+    search.streamFrac = 0.05;
+    search.stackFrac = 0.55;
+    search.reuseProb = 0.93;
+    search.hotBytes = 4 * 1024;
+    search.coldFrac = 0.002;
+    search.depDistMean = 5.0;
+    search.loopBranchFrac = 0.35;
+    search.branchBias = 0.72;
+    search.branchNoise = 0.05;
+    search.nStaticBranches = 320;
+    search.nBlocks = 160;
+
+    PhaseProfile eval = search;
+    eval.fBranch = 0.15;
+    eval.fIntMul = 0.04;
+    eval.depDistMean = 7.0;
+    eval.branchBias = 0.82;
+    eval.nBlocks = 120;
+
+    app.phases = {search, eval};
+    app.schedule = {{0, 0.35}, {1, 0.15}, {0, 0.35}, {1, 0.15}};
+    return app;
+}
+
+AppProfile
+makeTwolf()
+{
+    // twolf: place-and-route. The paper's hardest benchmark: an
+    // irregular response surface from noisy data-dependent branches,
+    // a working set straddling the L2 sizes, and three dissimilar
+    // phases.
+    AppProfile app;
+    app.name = "twolf";
+    app.seed = 0x74776f6c;
+    app.traceLength = 98304;
+
+    PhaseProfile place = intPhase();
+    place.fLoad = 0.30;
+    place.fBranch = 0.19;
+    place.wsetBytes = 384 * 1024;
+    place.streamFrac = 0.08;
+    place.nStreams = 1;
+    place.blockStrideStreams = 1;
+    place.pointerFrac = 0.14;
+    place.stackFrac = 0.42;
+    place.reuseProb = 0.75;
+    place.hotBytes = 12 * 1024;
+    place.coldFrac = 0.015;
+    place.depDistMean = 3.5;
+    place.loopBranchFrac = 0.3;
+    place.branchBias = 0.68;
+    place.branchNoise = 0.08;
+    place.nStaticBranches = 400;
+    place.nBlocks = 200;
+
+    PhaseProfile anneal = place;
+    anneal.wsetBytes = 256 * 1024;
+    anneal.pointerFrac = 0.08;
+    anneal.branchNoise = 0.10;
+    anneal.branchBias = 0.60;
+    anneal.coldFrac = 0.01;
+    anneal.depDistMean = 4.5;
+
+    PhaseProfile rip = place;
+    rip.wsetBytes = 512 * 1024;
+    rip.pointerFrac = 0.2;
+    rip.streamFrac = 0.1;
+    rip.reuseProb = 0.65;
+    rip.hotBytes = 24 * 1024;
+    rip.coldFrac = 0.022;
+    rip.depDistMean = 3.5;
+
+    app.phases = {place, anneal, rip};
+    app.schedule = {{0, 0.2}, {1, 0.15}, {2, 0.15}, {0, 0.2},
+                    {1, 0.15}, {2, 0.15}};
+    return app;
+}
+
+AppProfile
+makeMgrid()
+{
+    // mgrid: multigrid PDE solver. Streaming FP loops, very high ILP,
+    // near-perfectly predictable loop branches; bandwidth-sensitive
+    // through its streaming tail.
+    AppProfile app;
+    app.name = "mgrid";
+    app.seed = 0x6d677269;
+    app.traceLength = 65536;
+
+    PhaseProfile smooth = fpPhase();
+    smooth.wsetBytes = 448 * 1024;
+    smooth.streamFrac = 0.35;
+    smooth.stackFrac = 0.32;
+    smooth.reuseProb = 0.9;
+    smooth.hotBytes = 6 * 1024;
+    smooth.coldFrac = 0.01;
+    smooth.nStreams = 4;
+    smooth.blockStrideStreams = 1;  // capacity churn
+    smooth.strideBytes = 8;         // plus spatial streams
+    smooth.depDistMean = 12.0;
+    smooth.nStaticBranches = 24;
+    smooth.nBlocks = 32;
+
+    PhaseProfile restrict_ = smooth;
+    restrict_.nStreams = 2;
+    restrict_.blockStrideStreams = 1;
+    restrict_.strideBytes = 16;
+    restrict_.wsetBytes = 256 * 1024;
+    restrict_.depDistMean = 9.0;
+
+    app.phases = {smooth, restrict_};
+    app.schedule = {{0, 0.4}, {1, 0.1}, {0, 0.4}, {1, 0.1}};
+    return app;
+}
+
+AppProfile
+makeApplu()
+{
+    // applu: LU-factorization PDE solver. Streaming FP like mgrid but
+    // shorter dependence chains (back-substitution) and a larger
+    // cyclic working set.
+    AppProfile app;
+    app.name = "applu";
+    app.seed = 0x6170706c;
+    app.traceLength = 65536;
+
+    PhaseProfile rhs = fpPhase();
+    rhs.wsetBytes = 512 * 1024;
+    rhs.streamFrac = 0.3;
+    rhs.stackFrac = 0.35;
+    rhs.reuseProb = 0.88;
+    rhs.hotBytes = 8 * 1024;
+    rhs.coldFrac = 0.01;
+    rhs.nStreams = 3;
+    rhs.blockStrideStreams = 1;
+    rhs.depDistMean = 8.0;
+    rhs.nStaticBranches = 32;
+    rhs.nBlocks = 40;
+
+    PhaseProfile solve = rhs;
+    solve.depDistMean = 4.0;
+    solve.fFpMul = 0.18;
+    solve.streamFrac = 0.25;
+    solve.wsetBytes = 320 * 1024;
+
+    app.phases = {rhs, solve};
+    app.schedule = {{0, 0.3}, {1, 0.2}, {0, 0.3}, {1, 0.2}};
+    return app;
+}
+
+AppProfile
+makeMesa()
+{
+    // mesa: software 3-D rendering. FP with integer control, small
+    // hot working set, excellent locality; the easiest FP code in the
+    // processor study (Table 5.1).
+    AppProfile app;
+    app.name = "mesa";
+    app.seed = 0x6d657361;
+    app.traceLength = 32768;
+
+    PhaseProfile xform = fpPhase();
+    xform.fBranch = 0.11;
+    xform.fFpAlu = 0.22;
+    xform.fFpMul = 0.10;
+    xform.wsetBytes = 128 * 1024;
+    xform.streamFrac = 0.18;
+    xform.stackFrac = 0.45;
+    xform.reuseProb = 0.93;
+    xform.hotBytes = 5 * 1024;
+    xform.coldFrac = 0.004;
+    xform.nStreams = 2;
+    xform.depDistMean = 8.0;
+    xform.loopBranchFrac = 0.6;
+    xform.branchBias = 0.85;
+    xform.branchNoise = 0.02;
+    xform.nStaticBranches = 120;
+    xform.nBlocks = 96;
+
+    PhaseProfile raster = xform;
+    raster.fFpAlu = 0.12;
+    raster.fLoad = 0.26;
+    raster.fStore = 0.16;
+    raster.wsetBytes = 160 * 1024;
+    raster.streamFrac = 0.28;
+    raster.stackFrac = 0.38;
+    raster.depDistMean = 9.0;
+
+    app.phases = {xform, raster};
+    app.schedule = {{0, 0.25}, {1, 0.25}, {0, 0.25}, {1, 0.25}};
+    return app;
+}
+
+AppProfile
+makeEquake()
+{
+    // equake: earthquake FEM. Sparse matrix-vector FP with irregular
+    // indexed references over an L2-straddling working set.
+    AppProfile app;
+    app.name = "equake";
+    app.seed = 0x6571756b;
+    app.traceLength = 98304;
+
+    PhaseProfile smvp = fpPhase();
+    smvp.fLoad = 0.34;
+    smvp.fStore = 0.08;
+    smvp.fFpAlu = 0.24;
+    smvp.fFpMul = 0.10;
+    smvp.wsetBytes = 448 * 1024;
+    smvp.streamFrac = 0.14;
+    smvp.nStreams = 2;
+    smvp.blockStrideStreams = 1;
+    smvp.pointerFrac = 0.1;
+    smvp.stackFrac = 0.38;
+    smvp.reuseProb = 0.8;
+    smvp.hotBytes = 12 * 1024;
+    smvp.coldFrac = 0.015;
+    smvp.depDistMean = 6.0;
+    smvp.nStaticBranches = 48;
+    smvp.nBlocks = 48;
+
+    PhaseProfile integrate = smvp;
+    integrate.pointerFrac = 0.04;
+    integrate.streamFrac = 0.3;
+    integrate.blockStrideStreams = 1;
+    integrate.wsetBytes = 256 * 1024;
+    integrate.coldFrac = 0.008;
+    integrate.depDistMean = 9.0;
+
+    app.phases = {smvp, integrate};
+    app.schedule = {{0, 0.35}, {1, 0.15}, {0, 0.35}, {1, 0.15}};
+    return app;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "gzip", "mcf", "crafty", "twolf",
+        "mgrid", "applu", "mesa", "equake",
+    };
+    return names;
+}
+
+AppProfile
+benchmarkProfile(const std::string &name)
+{
+    if (name == "gzip")
+        return makeGzip();
+    if (name == "mcf")
+        return makeMcf();
+    if (name == "crafty")
+        return makeCrafty();
+    if (name == "twolf")
+        return makeTwolf();
+    if (name == "mgrid")
+        return makeMgrid();
+    if (name == "applu")
+        return makeApplu();
+    if (name == "mesa")
+        return makeMesa();
+    if (name == "equake")
+        return makeEquake();
+    throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+} // namespace workload
+} // namespace dse

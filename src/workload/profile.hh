@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Application profiles for the synthetic workload generator.
+ *
+ * The paper runs four SPEC CINT2000 (gzip, mcf, crafty, twolf) and
+ * four SPEC CFP2000 (mgrid, applu, mesa, equake) benchmarks with
+ * MinneSPEC reduced inputs. We cannot ship SPEC, so each benchmark is
+ * replaced by a synthetic profile that reproduces its qualitative
+ * character — instruction mix, ILP (dependence distances), working-set
+ * size and access-pattern mix, branch predictability, and program
+ * phase structure (DESIGN.md, substitution table). What matters for
+ * the study is that the eight profiles yield eight *distinct*,
+ * internally consistent nonlinear IPC response surfaces.
+ */
+
+#ifndef DSE_WORKLOAD_PROFILE_HH
+#define DSE_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dse {
+namespace workload {
+
+/**
+ * Behaviour of the program during one phase. A program is a sequence
+ * of phases (loops/routines with distinct behaviour); SimPoint's
+ * whole premise is that per-interval behaviour clusters by phase.
+ */
+struct PhaseProfile
+{
+    /// @name Instruction mix (fractions of dynamic instructions).
+    /// The remainder after all listed classes is IntAlu.
+    /// @{
+    double fLoad = 0.25;
+    double fStore = 0.10;
+    double fBranch = 0.15;
+    double fFpAlu = 0.0;
+    double fFpMul = 0.0;
+    double fIntMul = 0.02;
+    /// @}
+
+    /// @name Dependence structure.
+    /// @{
+    /// Mean register-dependence distance (geometric). Small values
+    /// serialize execution (low ILP); large values expose parallelism.
+    double depDistMean = 5.0;
+    /// @}
+
+    /// @name Memory behaviour.
+    /// @{
+    double wsetBytes = 256 * 1024;  ///< random-access working set
+    double streamFrac = 0.4;   ///< memory ops that walk sequential streams
+    double pointerFrac = 0.0;  ///< loads whose address depends on a prior load
+    int nStreams = 4;          ///< concurrent sequential streams
+    int strideBytes = 8;       ///< stream stride
+    /**
+     * The first `blockStrideStreams` streams walk with a 64-byte
+     * (cache-block) stride instead of strideBytes: they touch a new
+     * block every access and cycle their region, generating the
+     * capacity churn that makes mid-size (L2) cache capacity matter
+     * within a short trace.
+     */
+    int blockStrideStreams = 0;
+    double stackFrac = 0.25;   ///< accesses to a small, hot stack region
+    /**
+     * Temporal locality of non-stream accesses: probability that a
+     * random/chase access lands in the exponentially distributed hot
+     * head of the working set instead of uniformly anywhere in it.
+     * Real codes concentrate most accesses on a hot subset; this is
+     * what makes cache capacity *gradually* valuable rather than
+     * all-or-nothing.
+     */
+    double reuseProb = 0.6;
+    /**
+     * Characteristic size of the hot head: hot accesses fall at
+     * exponentially distributed offsets with this mean, so the
+     * fraction captured by a cache of size S grows smoothly
+     * (~1 - e^(-S/hotBytes)) — the smooth capacity response real
+     * applications exhibit.
+     */
+    double hotBytes = 24 * 1024;
+    /**
+     * Fraction of memory accesses that touch data that is never
+     * reused within the trace (the far tail of a working set much
+     * larger than the trace horizon). These always miss the whole
+     * hierarchy — they are the application's sustained DRAM traffic,
+     * and what makes FSB frequency and SDRAM latency matter.
+     */
+    double coldFrac = 0.01;
+    /// @}
+
+    /// @name Branch behaviour.
+    /// @{
+    double loopBranchFrac = 0.5;  ///< branches that are loop back-edges
+    double meanLoopTrip = 24.0;   ///< mean loop trip count (taken run length)
+    double branchBias = 0.8;      ///< mean bias of non-loop branches
+    double branchNoise = 0.08;    ///< probability a branch defies its pattern
+    int nStaticBranches = 64;     ///< static conditional branches in the phase
+    int nBlocks = 48;             ///< static basic blocks in the phase
+    /// @}
+};
+
+/**
+ * A complete synthetic application: named phases plus the schedule in
+ * which the program moves through them.
+ */
+struct AppProfile
+{
+    std::string name;
+    /**
+     * Dynamic trace length for this application. Memory-bound codes
+     * need longer traces so cyclic working sets large enough to
+     * exercise L2 capacity fit within the trace horizon.
+     */
+    size_t traceLength = 32768;
+    std::vector<PhaseProfile> phases;
+    /**
+     * Phase schedule as (phase index, fraction of the trace) pairs,
+     * in program order. Fractions must sum to ~1. Alternating entries
+     * give the A-B-A-B structure real codes exhibit.
+     */
+    std::vector<std::pair<int, double>> schedule;
+    uint64_t seed = 1;
+};
+
+/** Names of the eight benchmarks the paper evaluates. */
+const std::vector<std::string> &benchmarkNames();
+
+/**
+ * Profile for one of the eight paper benchmarks by name
+ * (gzip, mcf, crafty, twolf, mgrid, applu, mesa, equake).
+ * @throws std::invalid_argument for an unknown name.
+ */
+AppProfile benchmarkProfile(const std::string &name);
+
+} // namespace workload
+} // namespace dse
+
+#endif // DSE_WORKLOAD_PROFILE_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Dynamic instruction trace representation.
+ *
+ * The simulator (dse::sim) is trace-driven: a workload is a fixed
+ * sequence of dynamic instruction records produced once per
+ * application (deterministically from its profile seed) and then
+ * replayed under every machine configuration of a design-space study.
+ * This mirrors how the paper holds the application fixed while the
+ * architecture varies: IPC differences across configurations come
+ * only from the machine model, never from the workload.
+ */
+
+#ifndef DSE_WORKLOAD_TRACE_HH
+#define DSE_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dse {
+namespace workload {
+
+/** Functional class of a dynamic instruction. */
+enum class OpClass : uint8_t {
+    IntAlu,   ///< single-cycle integer operation
+    IntMul,   ///< multi-cycle integer multiply/divide
+    FpAlu,    ///< floating-point add/compare
+    FpMul,    ///< floating-point multiply/divide/sqrt
+    Load,     ///< memory read
+    Store,    ///< memory write
+    Branch,   ///< conditional branch
+};
+
+/** Number of distinct OpClass values. */
+constexpr int kNumOpClasses = 7;
+
+/** Human-readable OpClass name. */
+const char *opClassName(OpClass cls);
+
+/**
+ * One dynamic instruction. Dependences are recorded as *distances*:
+ * src1/src2 give how many instructions back in the dynamic stream the
+ * producing instruction is (0 means no register input from a nearby
+ * producer, i.e. the value is already available).
+ */
+struct TraceOp
+{
+    uint64_t addr = 0;      ///< effective address (Load/Store only)
+    uint32_t pc = 0;        ///< instruction address (I-cache, BTB)
+    int32_t src1 = 0;       ///< first input dependence distance
+    int32_t src2 = 0;       ///< second input dependence distance
+    uint16_t block = 0;     ///< static basic-block id (SimPoint BBVs)
+    int16_t branchId = -1;  ///< static branch id; -1 when not a branch
+    OpClass cls = OpClass::IntAlu;
+    bool taken = false;     ///< branch outcome (Branch only)
+    bool fpDest = false;    ///< destination register is floating point
+    /**
+     * Never pre-warmed: this access stands for the never-reused tail
+     * of a working set far larger than the trace can express (e.g.
+     * mcf's multi-megabyte graph). Functional warmup skips it so it
+     * misses the hierarchy the way the real access would.
+     */
+    bool noWarm = false;
+};
+
+/**
+ * A complete dynamic trace for one application, plus the static-code
+ * metadata the simulator and SimPoint need.
+ */
+struct Trace
+{
+    std::string app;             ///< application name
+    std::vector<TraceOp> ops;    ///< the dynamic instruction stream
+    uint16_t numBlocks = 0;      ///< static basic-block count
+    int16_t numBranches = 0;     ///< static branch count
+
+    size_t size() const { return ops.size(); }
+};
+
+} // namespace workload
+} // namespace dse
+
+#endif // DSE_WORKLOAD_TRACE_HH

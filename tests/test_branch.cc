@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the tournament branch predictor and BTB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/branch.hh"
+#include "util/rng.hh"
+
+namespace dse {
+namespace sim {
+namespace {
+
+double
+mispredictRate(TournamentPredictor &bp, uint32_t pc,
+               const std::vector<bool> &outcomes)
+{
+    int miss = 0;
+    for (bool taken : outcomes) {
+        if (bp.predict(pc) != taken)
+            ++miss;
+        bp.update(pc, taken);
+    }
+    return static_cast<double>(miss) /
+        static_cast<double>(outcomes.size());
+}
+
+TEST(TournamentPredictor, LearnsAlwaysTaken)
+{
+    TournamentPredictor bp(4096);
+    std::vector<bool> outcomes(5000, true);
+    EXPECT_LT(mispredictRate(bp, 0x1000, outcomes), 0.01);
+}
+
+TEST(TournamentPredictor, LearnsAlwaysNotTaken)
+{
+    TournamentPredictor bp(4096);
+    std::vector<bool> outcomes(5000, false);
+    EXPECT_LT(mispredictRate(bp, 0x1000, outcomes), 0.01);
+}
+
+TEST(TournamentPredictor, LearnsAlternatingViaHistory)
+{
+    TournamentPredictor bp(4096);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 5000; ++i)
+        outcomes.push_back(i % 2 == 0);
+    EXPECT_LT(mispredictRate(bp, 0x2000, outcomes), 0.05);
+}
+
+TEST(TournamentPredictor, LearnsShortLoop)
+{
+    // Period-8 loop (7 taken, 1 not): local history captures it.
+    TournamentPredictor bp(4096);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 8000; ++i)
+        outcomes.push_back(i % 8 != 7);
+    EXPECT_LT(mispredictRate(bp, 0x3000, outcomes), 0.05);
+}
+
+TEST(TournamentPredictor, RandomBranchNearChance)
+{
+    TournamentPredictor bp(4096);
+    Rng rng(5);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 20000; ++i)
+        outcomes.push_back(rng.chance(0.5));
+    const double rate = mispredictRate(bp, 0x4000, outcomes);
+    EXPECT_GT(rate, 0.4);
+    EXPECT_LT(rate, 0.6);
+}
+
+TEST(TournamentPredictor, BiasedBranchBeatsChance)
+{
+    TournamentPredictor bp(4096);
+    Rng rng(5);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 20000; ++i)
+        outcomes.push_back(rng.chance(0.9));
+    EXPECT_LT(mispredictRate(bp, 0x5000, outcomes), 0.15);
+}
+
+TEST(TournamentPredictor, LargerTablesHelpUnderAliasing)
+{
+    // Many interleaved biased branches alias in a small table.
+    auto run = [](int entries) {
+        TournamentPredictor bp(entries);
+        Rng rng(11);
+        std::vector<double> bias(512);
+        for (auto &b : bias)
+            b = rng.chance(0.5) ? 0.92 : 0.12;
+        int miss = 0;
+        const int n = 100000;
+        for (int i = 0; i < n; ++i) {
+            const int id = static_cast<int>(rng.below(512));
+            const uint32_t pc = 0x1000 + 4 * static_cast<uint32_t>(id);
+            const bool taken = rng.chance(bias[static_cast<size_t>(id)]);
+            if (bp.predict(pc) != taken)
+                ++miss;
+            bp.update(pc, taken);
+        }
+        return static_cast<double>(miss) / n;
+    };
+    const double small = run(256);
+    const double large = run(4096);
+    EXPECT_LT(large, small);
+}
+
+TEST(TournamentPredictor, ResetForgets)
+{
+    TournamentPredictor bp(1024);
+    for (int i = 0; i < 1000; ++i)
+        bp.update(0x100, true);
+    EXPECT_TRUE(bp.predict(0x100));
+    bp.reset();
+    // Initial counters are weakly not-taken.
+    EXPECT_FALSE(bp.predict(0x100));
+}
+
+TEST(TournamentPredictor, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(TournamentPredictor(1000), std::invalid_argument);
+    EXPECT_THROW(TournamentPredictor(0), std::invalid_argument);
+    EXPECT_THROW(TournamentPredictor(-4), std::invalid_argument);
+}
+
+TEST(Btb, InsertThenLookup)
+{
+    BranchTargetBuffer btb(1024);
+    EXPECT_FALSE(btb.lookup(0x1234));
+    btb.insert(0x1234);
+    EXPECT_TRUE(btb.lookup(0x1234));
+}
+
+TEST(Btb, TwoWaysPerSet)
+{
+    BranchTargetBuffer btb(16);
+    // Three PCs mapping to the same set: the LRU one is evicted.
+    const uint32_t stride = 16 * 4;
+    btb.insert(0 * stride);
+    btb.insert(1 * stride);
+    EXPECT_TRUE(btb.lookup(0 * stride));  // refresh 0
+    btb.insert(2 * stride);               // evicts 1
+    EXPECT_TRUE(btb.lookup(0 * stride));
+    EXPECT_FALSE(btb.lookup(1 * stride));
+    EXPECT_TRUE(btb.lookup(2 * stride));
+}
+
+TEST(Btb, ResetForgets)
+{
+    BranchTargetBuffer btb(64);
+    btb.insert(0x40);
+    btb.reset();
+    EXPECT_FALSE(btb.lookup(0x40));
+}
+
+TEST(Btb, RejectsBadGeometry)
+{
+    EXPECT_THROW(BranchTargetBuffer(0), std::invalid_argument);
+    EXPECT_THROW(BranchTargetBuffer(100), std::invalid_argument);
+}
+
+/** All predictor sizes the processor study sweeps must behave. */
+class PredictorSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PredictorSizeTest, LearnsBiasedBranch)
+{
+    TournamentPredictor bp(GetParam());
+    Rng rng(3);
+    int miss = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const bool taken = rng.chance(0.95);
+        if (bp.predict(0x800) != taken)
+            ++miss;
+        bp.update(0x800, taken);
+    }
+    EXPECT_LT(static_cast<double>(miss) / n, 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(StudySizes, PredictorSizeTest,
+                         ::testing::Values(1024, 2048, 4096));
+
+} // namespace
+} // namespace sim
+} // namespace dse

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cache.hh"
+
+namespace dse {
+namespace sim {
+namespace {
+
+CacheConfig
+smallCache()
+{
+    return {1, 32, 2, true};  // 1KB, 32B blocks, 2-way: 16 sets
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x101f, false).hit);   // same 32B block
+    EXPECT_FALSE(c.access(0x1020, false).hit);  // next block
+}
+
+TEST(Cache, StatisticsCount)
+{
+    Cache c(smallCache());
+    c.access(0x0, false);
+    c.access(0x0, false);
+    c.access(0x40, false);
+    EXPECT_EQ(c.accesses(), 3u);
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_NEAR(c.missRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // 2-way set: fill both ways, touch the first, insert a third;
+    // the second (LRU) must be evicted.
+    Cache c(smallCache());
+    const uint64_t set_stride = 16 * 32;  // 16 sets * 32B
+    c.access(0 * set_stride, false);  // way A
+    c.access(1 * set_stride, false);  // way B
+    c.access(0 * set_stride, false);  // refresh A
+    c.access(2 * set_stride, false);  // evicts B
+    EXPECT_TRUE(c.contains(0 * set_stride));
+    EXPECT_FALSE(c.contains(1 * set_stride));
+    EXPECT_TRUE(c.contains(2 * set_stride));
+}
+
+TEST(Cache, WriteBackTracksDirtyVictims)
+{
+    Cache c({1, 32, 1, true});  // direct mapped, 32 sets
+    const uint64_t stride = 32 * 32;
+    c.access(0, true);                    // dirty
+    auto r = c.access(stride, false);     // evicts dirty block 0
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimAddr, 0u);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, CleanVictimNoWriteback)
+{
+    Cache c({1, 32, 1, true});
+    const uint64_t stride = 32 * 32;
+    c.access(0, false);                   // clean
+    auto r = c.access(stride, false);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, WriteThroughNeverDirty)
+{
+    Cache c({1, 32, 1, false});  // write-through
+    const uint64_t stride = 32 * 32;
+    c.access(0, true);
+    auto r = c.access(stride, false);
+    EXPECT_FALSE(r.writeback);
+    EXPECT_EQ(c.writebacks(), 0u);
+}
+
+TEST(Cache, NoAllocateLeavesCacheUntouched)
+{
+    Cache c(smallCache());
+    c.access(0x2000, true, /*allocate=*/false);
+    EXPECT_FALSE(c.contains(0x2000));
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache c(smallCache());
+    c.access(0x0, true);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_FALSE(c.contains(0x0));
+}
+
+TEST(Cache, ResetStatsKeepsContents)
+{
+    Cache c(smallCache());
+    c.access(0x0, false);
+    c.resetStats();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_TRUE(c.contains(0x0));
+    EXPECT_TRUE(c.access(0x0, false).hit);
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(Cache({0, 32, 2, true}), std::invalid_argument);
+    EXPECT_THROW(Cache({32, 0, 2, true}), std::invalid_argument);
+    EXPECT_THROW(Cache({32, 48, 2, true}), std::invalid_argument);
+    EXPECT_THROW(Cache({32, 32, 3, true}), std::invalid_argument);
+}
+
+TEST(CacheConfig, NumSets)
+{
+    EXPECT_EQ(CacheConfig({32, 32, 2, true}).numSets(), 512);
+    EXPECT_EQ(CacheConfig({1024, 64, 8, true}).numSets(), 2048);
+}
+
+TEST(CacheConfig, Describe)
+{
+    EXPECT_EQ(CacheConfig({32, 64, 4, true}).describe(), "32KB/64B/4way/WB");
+    EXPECT_EQ(CacheConfig({8, 32, 1, false}).describe(), "8KB/32B/1way/WT");
+}
+
+/** Geometry sweep over every L1 shape the studies use. */
+struct Geometry
+{
+    int size_kb;
+    int block;
+    int assoc;
+};
+
+class CacheGeometryTest : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CacheGeometryTest, FitsWorkingSetAfterWarmup)
+{
+    const auto [size_kb, block, assoc] = GetParam();
+    Cache c({size_kb, block, assoc, true});
+    // A working set half the cache size must fully fit.
+    const uint64_t bytes = static_cast<uint64_t>(size_kb) * 1024 / 2;
+    for (uint64_t a = 0; a < bytes; a += block)
+        c.access(a, false);
+    c.resetStats();
+    for (uint64_t a = 0; a < bytes; a += block)
+        c.access(a, false);
+    EXPECT_EQ(c.misses(), 0u)
+        << size_kb << "KB/" << block << "B/" << assoc << "way";
+}
+
+TEST_P(CacheGeometryTest, ThrashesWorkingSetTwiceItsSize)
+{
+    const auto [size_kb, block, assoc] = GetParam();
+    Cache c({size_kb, block, assoc, true});
+    // Cyclic sweep over 2x the capacity with LRU never hits.
+    const uint64_t bytes = static_cast<uint64_t>(size_kb) * 1024 * 2;
+    for (int pass = 0; pass < 2; ++pass)
+        for (uint64_t a = 0; a < bytes; a += block)
+            c.access(a, false);
+    EXPECT_EQ(c.misses(), c.accesses());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StudyGeometries, CacheGeometryTest,
+    ::testing::Values(Geometry{8, 32, 1}, Geometry{8, 64, 2},
+                      Geometry{16, 32, 2}, Geometry{32, 32, 2},
+                      Geometry{32, 64, 4}, Geometry{64, 64, 8},
+                      Geometry{256, 64, 4}, Geometry{1024, 64, 8},
+                      Geometry{2048, 128, 16}));
+
+TEST(CacheProperty, LargerCacheNeverMissesMore)
+{
+    // On any fixed address sequence, a bigger cache of the same shape
+    // (same block, same or higher assoc covering the smaller one)
+    // should not have more misses: LRU with nested capacity.
+    std::vector<uint64_t> addrs;
+    uint64_t x = 12345;
+    for (int i = 0; i < 20000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        addrs.push_back((x >> 20) % (64 * 1024));
+    }
+    uint64_t prev_misses = ~0ull;
+    for (int size_kb : {8, 16, 32, 64}) {
+        Cache c({size_kb, 32, 8, true});
+        for (uint64_t a : addrs)
+            c.access(a, false);
+        EXPECT_LE(c.misses(), prev_misses) << size_kb;
+        prev_misses = c.misses();
+    }
+}
+
+} // namespace
+} // namespace sim
+} // namespace dse

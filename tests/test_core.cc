@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the out-of-order core model: determinism, conservation,
+ * resource-limit behaviour, and directional sensitivities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cacti.hh"
+#include "sim/core.hh"
+#include "workload/generator.hh"
+
+namespace dse {
+namespace sim {
+namespace {
+
+MachineConfig
+strongConfig()
+{
+    MachineConfig cfg;
+    CactiModel::applyLatencies(cfg);
+    return cfg;
+}
+
+SimResult
+run(const workload::Trace &trace, const MachineConfig &cfg,
+    bool warm = true)
+{
+    SimOptions opts;
+    opts.warmCaches = warm;
+    return simulate(trace, cfg, opts);
+}
+
+class CoreTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        trace_ = new workload::Trace(
+            workload::generateBenchmarkTrace("gzip", 16384));
+    }
+    static void TearDownTestSuite() { delete trace_; }
+    static workload::Trace *trace_;
+};
+
+workload::Trace *CoreTest::trace_ = nullptr;
+
+TEST_F(CoreTest, Deterministic)
+{
+    const auto a = run(*trace_, strongConfig());
+    const auto b = run(*trace_, strongConfig());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.l1dMisses, b.l1dMisses);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+}
+
+TEST_F(CoreTest, CommitsEveryInstruction)
+{
+    const auto r = run(*trace_, strongConfig());
+    EXPECT_EQ(r.instructions, trace_->size());
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_NEAR(r.ipc,
+                static_cast<double>(r.instructions) /
+                    static_cast<double>(r.cycles), 1e-12);
+}
+
+TEST_F(CoreTest, IpcBoundedByWidth)
+{
+    const auto r = run(*trace_, strongConfig());
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_LE(r.ipc, 4.0);
+}
+
+TEST_F(CoreTest, WarmupImprovesIpc)
+{
+    const auto cold = run(*trace_, strongConfig(), false);
+    const auto warm = run(*trace_, strongConfig(), true);
+    EXPECT_GT(warm.ipc, cold.ipc);
+}
+
+TEST_F(CoreTest, StatisticsAreConsistent)
+{
+    const auto r = run(*trace_, strongConfig());
+    EXPECT_LE(r.l1dMisses, r.l1dAccesses);
+    EXPECT_LE(r.l2Misses, r.l2Accesses);
+    EXPECT_LE(r.branchMispredicts, r.branches);
+    EXPECT_GT(r.branches, 0u);
+    EXPECT_GT(r.l1dAccesses, 0u);
+    EXPECT_NEAR(r.l1dMissRate,
+                static_cast<double>(r.l1dMisses) /
+                    static_cast<double>(r.l1dAccesses), 1e-12);
+}
+
+TEST_F(CoreTest, WiderCoreNoSlower)
+{
+    auto narrow = strongConfig();
+    narrow.fetchWidth = narrow.issueWidth = narrow.commitWidth = 2;
+    auto wide = strongConfig();
+    wide.fetchWidth = wide.issueWidth = wide.commitWidth = 8;
+    EXPECT_LE(run(*trace_, narrow).ipc, run(*trace_, wide).ipc);
+}
+
+TEST_F(CoreTest, BiggerRobNoSlower)
+{
+    auto small = strongConfig();
+    small.robSize = 32;
+    auto large = strongConfig();
+    large.robSize = 160;
+    EXPECT_LE(run(*trace_, small).ipc, run(*trace_, large).ipc * 1.001);
+}
+
+TEST_F(CoreTest, TinyLsqThrottles)
+{
+    auto tiny = strongConfig();
+    tiny.lsqLoads = tiny.lsqStores = 2;
+    EXPECT_LT(run(*trace_, tiny).ipc, run(*trace_, strongConfig()).ipc);
+}
+
+TEST_F(CoreTest, FewRegistersThrottle)
+{
+    auto tiny = strongConfig();
+    tiny.intRegs = tiny.fpRegs = 36;  // only 4 rename registers
+    EXPECT_LT(run(*trace_, tiny).ipc, run(*trace_, strongConfig()).ipc);
+}
+
+TEST_F(CoreTest, HigherMispredictPenaltyHurts)
+{
+    auto cheap = strongConfig();
+    cheap.mispredictPenaltyCycles = 2;
+    auto steep = strongConfig();
+    steep.mispredictPenaltyCycles = 40;
+    EXPECT_GT(run(*trace_, cheap).ipc, run(*trace_, steep).ipc);
+}
+
+TEST_F(CoreTest, SlowMemoryHurts)
+{
+    auto slow = strongConfig();
+    slow.sdramNs = 500.0;
+    slow.l2 = {256, 64, 1, true};
+    CactiModel::applyLatencies(slow);
+    EXPECT_LT(run(*trace_, slow).ipc, run(*trace_, strongConfig()).ipc);
+}
+
+TEST_F(CoreTest, IntervalSimulationRunsSubrange)
+{
+    SimOptions opts;
+    opts.begin = 4096;
+    opts.end = 8192;
+    opts.warmCaches = true;
+    const auto r = simulate(*trace_, strongConfig(), opts);
+    EXPECT_EQ(r.instructions, 4096u);
+    EXPECT_GT(r.ipc, 0.0);
+}
+
+TEST_F(CoreTest, FunctionalWarmupOfPrefixWorks)
+{
+    SimOptions cold_opts;
+    cold_opts.begin = 8192;
+    cold_opts.end = 12288;
+    const auto cold = simulate(*trace_, strongConfig(), cold_opts);
+
+    SimOptions warm_opts = cold_opts;
+    warm_opts.warmupInstructions = 8192;
+    const auto warm = simulate(*trace_, strongConfig(), warm_opts);
+    EXPECT_GE(warm.ipc, cold.ipc);
+}
+
+TEST_F(CoreTest, RejectsOversizedRob)
+{
+    auto bad = strongConfig();
+    bad.robSize = 4096;
+    EXPECT_THROW(run(*trace_, bad), std::invalid_argument);
+}
+
+TEST(CoreEdge, EmptyRangeCompletesInstantly)
+{
+    const auto trace = workload::generateBenchmarkTrace("gzip", 2048);
+    SimOptions opts;
+    opts.begin = 100;
+    opts.end = 100;
+    const auto r = simulate(trace, MachineConfig{}, opts);
+    EXPECT_EQ(r.instructions, 0u);
+}
+
+/** Directional sanity across every benchmark. */
+class PerAppCoreTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PerAppCoreTest, StrongBeatsWeakMachine)
+{
+    const auto trace =
+        workload::generateBenchmarkTrace(GetParam(), 16384);
+    auto strong = strongConfig();
+    auto weak = strongConfig();
+    weak.l1d = {8, 32, 1, false};
+    weak.l2 = {256, 64, 1, true};
+    weak.l2BusBytes = 8;
+    weak.fsbGHz = 0.533;
+    CactiModel::applyLatencies(weak);
+    const auto s = run(trace, strong);
+    const auto w = run(trace, weak);
+    EXPECT_GT(s.ipc, w.ipc) << GetParam();
+}
+
+TEST_P(PerAppCoreTest, IpcInPlausibleRange)
+{
+    const auto trace =
+        workload::generateBenchmarkTrace(GetParam(), 16384);
+    const auto r = run(trace, strongConfig());
+    EXPECT_GT(r.ipc, 0.01) << GetParam();
+    EXPECT_LT(r.ipc, 4.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PerAppCoreTest,
+                         ::testing::ValuesIn(workload::benchmarkNames()));
+
+} // namespace
+} // namespace sim
+} // namespace dse

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for Plackett-Burman designs: matrix structure, orthogonality,
+ * foldover, and effect-ranking recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "doe/plackett_burman.hh"
+#include "util/rng.hh"
+
+namespace dse {
+namespace doe {
+namespace {
+
+TEST(PbDesign, TwelveRunShapeWithoutFoldover)
+{
+    const auto design = pbDesign(11, false);
+    EXPECT_EQ(design.size(), 12u);
+    for (const auto &row : design)
+        EXPECT_EQ(row.size(), 11u);
+}
+
+TEST(PbDesign, FoldoverDoublesRuns)
+{
+    const auto design = pbDesign(11, true);
+    EXPECT_EQ(design.size(), 24u);
+    // Second half is the negation of the first.
+    for (size_t r = 0; r < 12; ++r)
+        for (size_t c = 0; c < 11; ++c)
+            EXPECT_EQ(design[r][c], -design[r + 12][c]);
+}
+
+TEST(PbDesign, EntriesArePlusMinusOne)
+{
+    for (const auto &row : pbDesign(11, true))
+        for (int8_t v : row)
+            EXPECT_TRUE(v == 1 || v == -1);
+}
+
+TEST(PbDesign, ColumnsAreBalanced)
+{
+    // Each column has as many highs as lows in the folded design.
+    const auto design = pbDesign(11, true);
+    for (size_t c = 0; c < 11; ++c) {
+        int sum = 0;
+        for (const auto &row : design)
+            sum += row[c];
+        EXPECT_EQ(sum, 0) << "column " << c;
+    }
+}
+
+TEST(PbDesign, ColumnsAreOrthogonal)
+{
+    // Main-effect columns of a PB design are mutually orthogonal.
+    const auto design = pbDesign(11, false);
+    for (size_t a = 0; a < 11; ++a) {
+        for (size_t b = a + 1; b < 11; ++b) {
+            int dot = 0;
+            for (const auto &row : design)
+                dot += row[a] * row[b];
+            EXPECT_EQ(dot, 0) << a << "," << b;
+        }
+    }
+}
+
+TEST(PbDesign, PicksLargerDesignForMoreFactors)
+{
+    EXPECT_EQ(pbDesign(9, false).size(), 12u);
+    EXPECT_EQ(pbDesign(12, false).size(), 20u);
+    EXPECT_EQ(pbDesign(19, false).size(), 20u);
+    EXPECT_EQ(pbDesign(23, false).size(), 24u);
+    EXPECT_EQ(pbDesign(12, false).front().size(), 12u);
+}
+
+TEST(PbDesign, TwentyRunOrthogonality)
+{
+    const auto design = pbDesign(19, false);
+    for (size_t a = 0; a < 19; ++a) {
+        for (size_t b = a + 1; b < 19; ++b) {
+            int dot = 0;
+            for (const auto &row : design)
+                dot += row[a] * row[b];
+            EXPECT_EQ(dot, 0) << a << "," << b;
+        }
+    }
+}
+
+TEST(PbDesign, RejectsBadFactorCounts)
+{
+    EXPECT_THROW(pbDesign(0), std::invalid_argument);
+    EXPECT_THROW(pbDesign(24), std::invalid_argument);
+}
+
+TEST(PbScreen, RecoversLinearEffectRanking)
+{
+    // Response = 5*x0 + 2*x3 - 1*x7; ranking must be 0, 3, 7.
+    auto result = pbScreen(9, [](const std::vector<int8_t> &s) {
+        return 5.0 * s[0] + 2.0 * s[3] - 1.0 * s[7];
+    });
+    ASSERT_EQ(result.effects.size(), 9u);
+    EXPECT_EQ(result.ranking[0], 0u);
+    EXPECT_EQ(result.ranking[1], 3u);
+    EXPECT_EQ(result.ranking[2], 7u);
+    EXPECT_NEAR(result.effects[0], 10.0, 1e-9);   // high-low = 2*5
+    EXPECT_NEAR(result.effects[3], 4.0, 1e-9);
+    EXPECT_NEAR(result.effects[7], -2.0, 1e-9);
+    for (size_t f : {1u, 2u, 4u, 5u, 6u, 8u})
+        EXPECT_NEAR(result.effects[f], 0.0, 1e-9);
+}
+
+TEST(PbScreen, FoldoverCancelsPairwiseInteractions)
+{
+    // Response with a strong two-factor interaction: with foldover
+    // the interaction must not contaminate main effects of other
+    // factors.
+    auto response = [](const std::vector<int8_t> &s) {
+        return 3.0 * s[0] + 4.0 * s[1] * s[2];
+    };
+    auto folded = pbScreen(9, response, true);
+    EXPECT_NEAR(folded.effects[0], 6.0, 1e-9);
+    // Factors 3..8 see no interaction bleed-through.
+    for (size_t f = 3; f < 9; ++f)
+        EXPECT_NEAR(folded.effects[f], 0.0, 1e-9) << f;
+}
+
+TEST(PbScreen, NoisyResponseStillRanksDominantFactor)
+{
+    Rng rng(5);
+    auto result = pbScreen(11, [&](const std::vector<int8_t> &s) {
+        return 10.0 * s[2] + rng.gaussian() * 0.5;
+    });
+    EXPECT_EQ(result.ranking[0], 2u);
+}
+
+TEST(PbScreen, RejectsNullEvaluator)
+{
+    EXPECT_THROW(pbScreen(5, nullptr), std::invalid_argument);
+}
+
+} // namespace
+} // namespace doe
+} // namespace dse

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for design-space description, indexing, and encoding
+ * (Section 3.3's parameter representation rules).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ml/encoding.hh"
+#include "util/rng.hh"
+
+namespace dse {
+namespace ml {
+namespace {
+
+DesignSpace
+sampleSpace()
+{
+    DesignSpace space;
+    space.addCardinal("size", {4, 8, 16});
+    space.addNominal("policy", {"WT", "WB"});
+    space.addBoolean("prefetch");
+    space.addContinuous("freq", {1.0, 2.0});
+    return space;
+}
+
+TEST(DesignSpace, SizeIsCrossProduct)
+{
+    EXPECT_EQ(sampleSpace().size(), 3u * 2 * 2 * 2);
+}
+
+TEST(DesignSpace, EncodedWidthCountsOneHot)
+{
+    // cardinal 1 + nominal 2 + boolean 1 + continuous 1
+    EXPECT_EQ(sampleSpace().encodedWidth(), 5);
+}
+
+TEST(DesignSpace, IndexLevelsRoundTrip)
+{
+    const auto space = sampleSpace();
+    for (uint64_t i = 0; i < space.size(); ++i)
+        EXPECT_EQ(space.index(space.levels(i)), i);
+}
+
+TEST(DesignSpace, LevelsAreInRange)
+{
+    const auto space = sampleSpace();
+    for (uint64_t i = 0; i < space.size(); ++i) {
+        const auto lv = space.levels(i);
+        ASSERT_EQ(lv.size(), space.numParams());
+        for (size_t p = 0; p < lv.size(); ++p) {
+            EXPECT_GE(lv[p], 0);
+            EXPECT_LT(lv[p], space.param(p).numLevels());
+        }
+    }
+}
+
+TEST(DesignSpace, DistinctIndicesDistinctLevels)
+{
+    const auto space = sampleSpace();
+    EXPECT_NE(space.levels(0), space.levels(1));
+    EXPECT_NE(space.levels(5), space.levels(17));
+}
+
+TEST(DesignSpace, OutOfRangeThrows)
+{
+    const auto space = sampleSpace();
+    EXPECT_THROW(space.levels(space.size()), std::out_of_range);
+    EXPECT_THROW(space.index({0, 0, 0}), std::invalid_argument);
+    EXPECT_THROW(space.index({5, 0, 0, 0}), std::out_of_range);
+}
+
+TEST(DesignSpace, CardinalMinimaxScaling)
+{
+    const auto space = sampleSpace();
+    EXPECT_DOUBLE_EQ(space.encode({0, 0, 0, 0})[0], 0.0);     // size 4
+    EXPECT_DOUBLE_EQ(space.encode({2, 0, 0, 0})[0], 1.0);     // size 16
+    EXPECT_NEAR(space.encode({1, 0, 0, 0})[0], 4.0 / 12.0, 1e-12);
+}
+
+TEST(DesignSpace, NominalOneHot)
+{
+    const auto space = sampleSpace();
+    const auto wt = space.encode({0, 0, 0, 0});
+    EXPECT_DOUBLE_EQ(wt[1], 1.0);
+    EXPECT_DOUBLE_EQ(wt[2], 0.0);
+    const auto wb = space.encode({0, 1, 0, 0});
+    EXPECT_DOUBLE_EQ(wb[1], 0.0);
+    EXPECT_DOUBLE_EQ(wb[2], 1.0);
+}
+
+TEST(DesignSpace, BooleanZeroOne)
+{
+    const auto space = sampleSpace();
+    EXPECT_DOUBLE_EQ(space.encode({0, 0, 0, 0})[3], 0.0);
+    EXPECT_DOUBLE_EQ(space.encode({0, 0, 1, 0})[3], 1.0);
+}
+
+TEST(DesignSpace, AllEncodedValuesInUnitRange)
+{
+    const auto space = sampleSpace();
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        const auto x = space.encodeIndex(rng.below(space.size()));
+        for (double v : x) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+TEST(DesignSpace, EncodingIsInjective)
+{
+    const auto space = sampleSpace();
+    std::vector<std::vector<double>> seen;
+    for (uint64_t i = 0; i < space.size(); ++i) {
+        const auto x = space.encodeIndex(i);
+        for (const auto &other : seen)
+            EXPECT_NE(x, other);
+        seen.push_back(x);
+    }
+}
+
+TEST(DesignSpace, NamedAccessors)
+{
+    const auto space = sampleSpace();
+    EXPECT_EQ(space.paramIndex("policy"), 1u);
+    EXPECT_THROW(space.paramIndex("nope"), std::invalid_argument);
+    const auto lv = space.levels(7);
+    EXPECT_EQ(space.labelOf("policy", lv),
+              space.label(1, lv[1]));
+    EXPECT_EQ(space.valueOf("size", lv), space.value(0, lv[0]));
+    EXPECT_THROW(space.valueOf("policy", lv), std::invalid_argument);
+    EXPECT_THROW(space.labelOf("size", lv), std::invalid_argument);
+}
+
+TEST(DesignSpace, RejectsEmptyParameter)
+{
+    DesignSpace space;
+    EXPECT_THROW(space.addCardinal("x", {}), std::invalid_argument);
+    EXPECT_THROW(space.addNominal("y", {}), std::invalid_argument);
+}
+
+TEST(TargetScaler, RoundTrip)
+{
+    TargetScaler s;
+    s.fit({0.2, 0.5, 1.4});
+    for (double v : {0.2, 0.5, 1.0, 1.4})
+        EXPECT_NEAR(s.decode(s.encode(v)), v, 1e-9);
+}
+
+TEST(TargetScaler, EncodesWithinSafeBand)
+{
+    TargetScaler s;
+    s.fit({1.0, 2.0, 3.0});
+    for (double v : {1.0, 2.0, 3.0}) {
+        const double e = s.encode(v);
+        EXPECT_GE(e, 0.1);
+        EXPECT_LE(e, 0.9);
+    }
+}
+
+TEST(TargetScaler, MarginCoversUnseenExtremes)
+{
+    TargetScaler s;
+    s.fit({1.0, 2.0});  // margin 0.25 -> raw range [0.75, 2.25]
+    EXPECT_GT(s.encode(2.2), 0.0);
+    EXPECT_LT(s.encode(0.8), 1.0);
+    EXPECT_NEAR(s.decode(s.encode(2.2)), 2.2, 1e-9);
+}
+
+TEST(TargetScaler, ConstantTargetsSurvive)
+{
+    TargetScaler s;
+    s.fit({2.0, 2.0, 2.0});
+    EXPECT_NEAR(s.decode(s.encode(2.0)), 2.0, 1e-9);
+}
+
+TEST(TargetScaler, RejectsEmptyAndBadBand)
+{
+    TargetScaler s;
+    EXPECT_THROW(s.fit({}), std::invalid_argument);
+    EXPECT_THROW(s.fit({1.0}, 0.25, 0.9, 0.1), std::invalid_argument);
+}
+
+/** Round-trip property on random indices of a large space. */
+class EncodingRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EncodingRoundTripTest, LargeSpaceRoundTrip)
+{
+    DesignSpace space;
+    space.addCardinal("a", {1, 2, 3, 4});
+    space.addCardinal("b", {1, 2});
+    space.addCardinal("c", {1, 2, 3, 4, 5});
+    space.addNominal("d", {"x", "y", "z"});
+    space.addCardinal("e", {1, 2, 3});
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t idx = rng.below(space.size());
+        EXPECT_EQ(space.index(space.levels(idx)), idx);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingRoundTripTest,
+                         ::testing::Values(1, 2, 3));
+
+} // namespace
+} // namespace ml
+} // namespace dse

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the first-order energy model: structural scaling rules
+ * and directional behaviour on real simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cacti.hh"
+#include "sim/core.hh"
+#include "sim/energy.hh"
+#include "workload/generator.hh"
+
+namespace dse {
+namespace sim {
+namespace {
+
+SimResult
+fixedResult()
+{
+    SimResult r;
+    r.cycles = 100000;
+    r.instructions = 80000;
+    r.ipc = 0.8;
+    r.l1dAccesses = 30000;
+    r.l1dMisses = 1500;
+    r.l1iAccesses = 10000;
+    r.l2Accesses = 1600;
+    r.l2Misses = 100;
+    return r;
+}
+
+TEST(Energy, AllComponentsPositive)
+{
+    MachineConfig cfg;
+    const auto e = computeEnergy(cfg, fixedResult());
+    EXPECT_GT(e.coreDynamicNj, 0.0);
+    EXPECT_GT(e.cacheDynamicNj, 0.0);
+    EXPECT_GT(e.dramDynamicNj, 0.0);
+    EXPECT_GT(e.leakageNj, 0.0);
+    EXPECT_GT(e.edp, 0.0);
+    EXPECT_NEAR(e.totalNj(),
+                e.coreDynamicNj + e.cacheDynamicNj + e.dramDynamicNj +
+                    e.leakageNj, 1e-9);
+}
+
+TEST(Energy, WiderCoreCostsMore)
+{
+    MachineConfig narrow;
+    narrow.issueWidth = 4;
+    MachineConfig wide;
+    wide.issueWidth = 8;
+    const auto r = fixedResult();
+    EXPECT_GT(computeEnergy(wide, r).coreDynamicNj,
+              computeEnergy(narrow, r).coreDynamicNj);
+    EXPECT_GT(computeEnergy(wide, r).leakageNj,
+              computeEnergy(narrow, r).leakageNj);
+}
+
+TEST(Energy, BiggerCachesCostMore)
+{
+    MachineConfig small;
+    small.l2.sizeKB = 256;
+    MachineConfig large;
+    large.l2.sizeKB = 2048;
+    const auto r = fixedResult();
+    EXPECT_GT(computeEnergy(large, r).cacheDynamicNj,
+              computeEnergy(small, r).cacheDynamicNj);
+    EXPECT_GT(computeEnergy(large, r).leakageNj,
+              computeEnergy(small, r).leakageNj);
+}
+
+TEST(Energy, DramEnergyScalesWithL2Misses)
+{
+    MachineConfig cfg;
+    auto few = fixedResult();
+    auto many = fixedResult();
+    many.l2Misses = 1000;
+    EXPECT_GT(computeEnergy(cfg, many).dramDynamicNj,
+              computeEnergy(cfg, few).dramDynamicNj);
+}
+
+TEST(Energy, LongerRunsLeakMore)
+{
+    MachineConfig cfg;
+    auto quick = fixedResult();
+    auto slow = fixedResult();
+    slow.cycles = 400000;
+    EXPECT_GT(computeEnergy(cfg, slow).leakageNj,
+              computeEnergy(cfg, quick).leakageNj);
+    EXPECT_GT(computeEnergy(cfg, slow).edp,
+              computeEnergy(cfg, quick).edp);
+}
+
+TEST(Energy, EndToEndOnRealSimulation)
+{
+    const auto trace = workload::generateBenchmarkTrace("gzip", 8192);
+    MachineConfig cfg;
+    CactiModel::applyLatencies(cfg);
+    SimOptions opts;
+    opts.warmCaches = true;
+    const auto r = simulate(trace, cfg, opts);
+    const auto e = computeEnergy(cfg, r);
+    // Sanity: ~0.5-2 nJ per instruction overall at this scale.
+    const double nj_per_instr =
+        e.totalNj() / static_cast<double>(r.instructions);
+    EXPECT_GT(nj_per_instr, 0.1);
+    EXPECT_LT(nj_per_instr, 10.0);
+}
+
+TEST(Energy, EdpTradesPerformanceForPower)
+{
+    // A slower but narrower machine can win EDP over a faster, wider
+    // one: run both on the same app and check EDP ordering can
+    // diverge from IPC ordering. (Not guaranteed in general; this
+    // pair is chosen so it does — documenting the tradeoff exists.)
+    const auto trace = workload::generateBenchmarkTrace("crafty", 8192);
+    MachineConfig lean;
+    lean.issueWidth = lean.fetchWidth = lean.commitWidth = 4;
+    lean.robSize = 96;
+    CactiModel::applyLatencies(lean);
+    MachineConfig beefy;
+    beefy.issueWidth = beefy.fetchWidth = beefy.commitWidth = 8;
+    beefy.robSize = 160;
+    beefy.intAluUnits = 8;
+    CactiModel::applyLatencies(beefy);
+
+    SimOptions opts;
+    opts.warmCaches = true;
+    const auto lean_r = simulate(trace, lean, opts);
+    const auto beefy_r = simulate(trace, beefy, opts);
+    const auto lean_e = computeEnergy(lean, lean_r);
+    const auto beefy_e = computeEnergy(beefy, beefy_r);
+
+    EXPECT_GE(beefy_r.ipc, lean_r.ipc);
+    // The wide machine pays materially more energy per instruction.
+    EXPECT_GT(beefy_e.totalNj() / lean_e.totalNj(), 1.1);
+}
+
+} // namespace
+} // namespace sim
+} // namespace dse

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the future-work extensions and library utilities:
+ * cross-application modeling, SMARTS-style systematic sampling, and
+ * ensemble serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/crossapp.hh"
+#include "ml/io.hh"
+#include "sim/cacti.hh"
+#include "sim/core.hh"
+#include "simpoint/smarts.hh"
+#include "util/stats.hh"
+#include "workload/generator.hh"
+
+namespace dse {
+namespace {
+
+ml::DesignSpace
+toySpace()
+{
+    ml::DesignSpace space;
+    space.addCardinal("a", {1, 2, 3, 4});
+    space.addCardinal("b", {1, 2, 3, 4});
+    return space;
+}
+
+TEST(CrossApp, EncodingPrependsAppOneHot)
+{
+    const auto space = toySpace();
+    ml::CrossAppSpace joint(space, {"alpha", "beta", "gamma"});
+    EXPECT_EQ(joint.encodedWidth(), 3 + space.encodedWidth());
+
+    const auto x = joint.encode(1, 5);
+    EXPECT_DOUBLE_EQ(x[0], 0.0);
+    EXPECT_DOUBLE_EQ(x[1], 1.0);
+    EXPECT_DOUBLE_EQ(x[2], 0.0);
+    const auto design = space.encodeIndex(5);
+    for (size_t i = 0; i < design.size(); ++i)
+        EXPECT_DOUBLE_EQ(x[3 + i], design[i]);
+}
+
+TEST(CrossApp, AppIndexLookup)
+{
+    const auto space = toySpace();
+    ml::CrossAppSpace joint(space, {"alpha", "beta"});
+    EXPECT_EQ(joint.appIndex("beta"), 1u);
+    EXPECT_THROW(joint.appIndex("nope"), std::invalid_argument);
+    EXPECT_THROW(joint.encode(2, 0), std::out_of_range);
+}
+
+TEST(CrossApp, RejectsNoApps)
+{
+    const auto space = toySpace();
+    EXPECT_THROW(ml::CrossAppSpace(space, {}), std::invalid_argument);
+}
+
+TEST(CrossApp, JointModelLearnsSharedStructure)
+{
+    // Two "applications" with the same shape, different offsets: the
+    // joint model must separate them via the identity input.
+    const auto space = toySpace();
+    ml::CrossAppSpace joint(space, {"alpha", "beta"});
+
+    auto response = [&](size_t app, uint64_t idx) {
+        const auto x = space.encodeIndex(idx);
+        const double base = 0.4 + 0.4 * x[0] - 0.2 * x[0] * x[1];
+        return app == 0 ? base : base + 0.3;
+    };
+
+    std::vector<ml::CrossAppSample> samples;
+    for (size_t app = 0; app < 2; ++app)
+        for (uint64_t i = 0; i < space.size(); ++i)
+            samples.push_back({app, i, response(app, i)});
+
+    ml::TrainOptions opts;
+    opts.folds = 5;
+    opts.maxEpochs = 2500;
+    opts.esInterval = 50;
+    opts.patience = 10;
+    const auto model = ml::trainCrossAppEnsemble(joint, samples, opts);
+
+    double err = 0.0;
+    int n = 0;
+    for (size_t app = 0; app < 2; ++app) {
+        for (uint64_t i = 0; i < space.size(); ++i) {
+            err += percentageError(model.predict(joint.encode(app, i)),
+                                   response(app, i));
+            ++n;
+        }
+    }
+    EXPECT_LT(err / n, 6.0);
+}
+
+TEST(Smarts, EstimateTracksFullSimulation)
+{
+    const auto trace = workload::generateBenchmarkTrace("gzip", 16384);
+    sim::MachineConfig cfg;
+    sim::CactiModel::applyLatencies(cfg);
+
+    sim::SimOptions full_opts;
+    full_opts.warmCaches = true;
+    const auto full = sim::simulate(trace, cfg, full_opts);
+
+    simpoint::SmartsOptions opts;
+    opts.unitInstructions = 512;
+    opts.cadence = 4;
+    const auto est = simpoint::smartsEstimateIpc(trace, cfg, opts);
+
+    EXPECT_EQ(est.unitsSampled, 8u);  // 32 units / cadence 4
+    EXPECT_EQ(est.instructionsSimulated, 8u * 512);
+    EXPECT_LT(percentageError(est.ipc, full.ipc), 30.0);
+}
+
+TEST(Smarts, DenserSamplingCostsMore)
+{
+    const auto trace = workload::generateBenchmarkTrace("gzip", 8192);
+    sim::MachineConfig cfg;
+    sim::CactiModel::applyLatencies(cfg);
+    simpoint::SmartsOptions sparse;
+    sparse.cadence = 8;
+    simpoint::SmartsOptions dense;
+    dense.cadence = 2;
+    EXPECT_LT(simpoint::smartsEstimateIpc(trace, cfg, sparse)
+                  .instructionsSimulated,
+              simpoint::smartsEstimateIpc(trace, cfg, dense)
+                  .instructionsSimulated);
+}
+
+TEST(Smarts, PhaseShiftsSampledUnits)
+{
+    const auto trace = workload::generateBenchmarkTrace("mesa", 8192);
+    sim::MachineConfig cfg;
+    sim::CactiModel::applyLatencies(cfg);
+    simpoint::SmartsOptions a;
+    a.cadence = 4;
+    a.phase = 0;
+    simpoint::SmartsOptions b = a;
+    b.phase = 2;
+    // Different phases sample different units; estimates may differ
+    // but both remain positive and finite.
+    const auto ea = simpoint::smartsEstimateIpc(trace, cfg, a);
+    const auto eb = simpoint::smartsEstimateIpc(trace, cfg, b);
+    EXPECT_GT(ea.ipc, 0.0);
+    EXPECT_GT(eb.ipc, 0.0);
+}
+
+TEST(Smarts, RejectsDegenerateOptions)
+{
+    const auto trace = workload::generateBenchmarkTrace("gzip", 4096);
+    sim::MachineConfig cfg;
+    simpoint::SmartsOptions bad;
+    bad.unitInstructions = 0;
+    EXPECT_THROW(simpoint::smartsEstimateIpc(trace, cfg, bad),
+                 std::invalid_argument);
+    simpoint::SmartsOptions too_big;
+    too_big.unitInstructions = 1 << 20;
+    EXPECT_THROW(simpoint::smartsEstimateIpc(trace, cfg, too_big),
+                 std::invalid_argument);
+}
+
+ml::Ensemble
+smallTrainedEnsemble()
+{
+    Rng rng(3);
+    ml::DataSet data;
+    for (int i = 0; i < 80; ++i) {
+        const double a = rng.uniform(), b = rng.uniform();
+        data.add({a, b}, 0.5 + 0.3 * a - 0.2 * b);
+    }
+    ml::TrainOptions opts;
+    opts.folds = 4;
+    opts.maxEpochs = 400;
+    opts.esInterval = 50;
+    opts.patience = 4;
+    return ml::trainEnsemble(data, opts);
+}
+
+TEST(EnsembleIo, RoundTripIsBitExact)
+{
+    const auto model = smallTrainedEnsemble();
+    std::stringstream buffer;
+    ml::saveEnsemble(buffer, model);
+    const auto restored = ml::loadEnsemble(buffer);
+
+    EXPECT_EQ(restored.members(), model.members());
+    EXPECT_DOUBLE_EQ(restored.estimate().meanPct,
+                     model.estimate().meanPct);
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i) {
+        const std::vector<double> x{rng.uniform(), rng.uniform()};
+        EXPECT_DOUBLE_EQ(restored.predict(x), model.predict(x));
+    }
+}
+
+TEST(EnsembleIo, FileRoundTrip)
+{
+    const auto model = smallTrainedEnsemble();
+    const std::string path = "/tmp/dse_test_ensemble.txt";
+    ml::saveEnsemble(path, model);
+    const auto restored = ml::loadEnsemble(path);
+    EXPECT_DOUBLE_EQ(restored.predict({0.3, 0.7}),
+                     model.predict({0.3, 0.7}));
+}
+
+TEST(EnsembleIo, RejectsGarbage)
+{
+    std::stringstream garbage("not an ensemble file");
+    EXPECT_THROW(ml::loadEnsemble(garbage), std::runtime_error);
+
+    std::stringstream truncated("dse-ensemble 1\nmembers 4\n");
+    EXPECT_THROW(ml::loadEnsemble(truncated), std::runtime_error);
+
+    EXPECT_THROW(ml::loadEnsemble("/nonexistent/path"),
+                 std::runtime_error);
+}
+
+TEST(EnsembleIo, RejectsWrongVersion)
+{
+    const auto model = smallTrainedEnsemble();
+    std::stringstream buffer;
+    ml::saveEnsemble(buffer, model);
+    std::string text = buffer.str();
+    text.replace(text.find(" 1\n"), 3, " 9\n");
+    std::stringstream bad(text);
+    EXPECT_THROW(ml::loadEnsemble(bad), std::runtime_error);
+}
+
+} // namespace
+} // namespace dse

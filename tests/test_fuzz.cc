@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Randomized robustness tests: the simulator must complete and
+ * conserve instructions on *any* valid study configuration and any
+ * generated trace; the explorer/training stack must behave on
+ * adversarial (constant, extreme-ratio) targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ml/cross_validation.hh"
+#include "sim/cacti.hh"
+#include "study/harness.hh"
+#include "util/rng.hh"
+#include "workload/generator.hh"
+
+namespace dse {
+namespace {
+
+TEST(Fuzz, RandomMemoryStudyPointsAlwaysComplete)
+{
+    study::StudyContext ctx(study::StudyKind::MemorySystem, "twolf",
+                            8192);
+    Rng rng(0xfeed);
+    for (int i = 0; i < 40; ++i) {
+        const uint64_t idx = rng.below(ctx.space().size());
+        const auto &r = ctx.simulateFull(idx);
+        EXPECT_EQ(r.instructions, 8192u) << idx;
+        EXPECT_GT(r.ipc, 0.0) << idx;
+        EXPECT_LE(r.ipc, 8.0) << idx;
+    }
+}
+
+TEST(Fuzz, RandomProcessorStudyPointsAlwaysComplete)
+{
+    study::StudyContext ctx(study::StudyKind::Processor, "equake",
+                            8192);
+    Rng rng(0xbeef);
+    for (int i = 0; i < 40; ++i) {
+        const uint64_t idx = rng.below(ctx.space().size());
+        const auto &r = ctx.simulateFull(idx);
+        EXPECT_EQ(r.instructions, 8192u) << idx;
+        EXPECT_GT(r.ipc, 0.0) << idx;
+        EXPECT_LE(r.ipc, 8.0) << idx;
+    }
+}
+
+TEST(Fuzz, ExtremeCornersOfBothSpaces)
+{
+    for (auto kind : {study::StudyKind::MemorySystem,
+                      study::StudyKind::Processor}) {
+        study::StudyContext ctx(kind, "mcf", 8192);
+        // First, last, and the all-max/all-min corners.
+        const uint64_t corners[] = {0, ctx.space().size() - 1,
+                                    ctx.space().size() / 2};
+        for (uint64_t idx : corners) {
+            const auto &r = ctx.simulateFull(idx);
+            EXPECT_GT(r.ipc, 0.0);
+        }
+    }
+}
+
+TEST(Fuzz, TrainingOnConstantTargetsSurvives)
+{
+    Rng rng(3);
+    ml::DataSet data;
+    for (int i = 0; i < 60; ++i)
+        data.add({rng.uniform(), rng.uniform()}, 0.7);
+    ml::TrainOptions opts;
+    opts.folds = 5;
+    opts.maxEpochs = 200;
+    opts.esInterval = 25;
+    opts.patience = 3;
+    const auto model = ml::trainEnsemble(data, opts);
+    EXPECT_NEAR(model.predict({0.5, 0.5}), 0.7, 0.1);
+    EXPECT_LT(model.estimate().meanPct, 10.0);
+}
+
+TEST(Fuzz, TrainingOnExtremeTargetRatiosSurvives)
+{
+    // Targets spanning four orders of magnitude: the inverse-target
+    // presentation weighting must not overflow or starve.
+    Rng rng(5);
+    ml::DataSet data;
+    for (int i = 0; i < 80; ++i) {
+        const double a = rng.uniform();
+        data.add({a, rng.uniform()}, a < 0.5 ? 0.0005 : 5.0);
+    }
+    ml::TrainOptions opts;
+    opts.folds = 5;
+    opts.maxEpochs = 300;
+    opts.esInterval = 25;
+    opts.patience = 4;
+    EXPECT_NO_THROW({
+        const auto model = ml::trainEnsemble(data, opts);
+        (void)model.predict({0.25, 0.5});
+    });
+}
+
+TEST(Fuzz, TinyTracesSimulateOnEveryBenchmark)
+{
+    sim::MachineConfig cfg;
+    sim::CactiModel::applyLatencies(cfg);
+    for (const auto &name : workload::benchmarkNames()) {
+        const auto trace = workload::generateBenchmarkTrace(name, 512);
+        sim::SimOptions opts;
+        opts.warmCaches = true;
+        const auto r = sim::simulate(trace, cfg, opts);
+        EXPECT_EQ(r.instructions, 512u) << name;
+    }
+}
+
+} // namespace
+} // namespace dse

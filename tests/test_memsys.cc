@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the timed memory hierarchy: latency ordering, MSHR
+ * behaviour, bus contention, and write-policy traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cacti.hh"
+#include "sim/memsys.hh"
+
+namespace dse {
+namespace sim {
+namespace {
+
+MachineConfig
+baseConfig()
+{
+    MachineConfig cfg;
+    CactiModel::applyLatencies(cfg);
+    return cfg;
+}
+
+TEST(MemorySystem, L1HitLatency)
+{
+    auto cfg = baseConfig();
+    MemorySystem mem(cfg);
+    mem.warmAccess(0x1000, false);
+    const uint64_t done = mem.load(0x1000, 100);
+    EXPECT_EQ(done, 100 + static_cast<uint64_t>(cfg.l1dLatency));
+}
+
+TEST(MemorySystem, L1MissCostsMoreThanHit)
+{
+    auto cfg = baseConfig();
+    MemorySystem mem(cfg);
+    mem.warmAccess(0x1000, false);
+    const uint64_t hit = mem.load(0x1000, 100);
+    MemorySystem cold(cfg);
+    const uint64_t miss = cold.load(0x1000, 100);
+    EXPECT_GT(miss, hit);
+}
+
+TEST(MemorySystem, L2MissCostsMoreThanL2Hit)
+{
+    auto cfg = baseConfig();
+    // L2 hit: warm only the L2 (access once, then evict... simpler:
+    // warm fully, then measure a second distinct L1-missing block
+    // that is L2-resident).
+    MemorySystem mem(cfg);
+    mem.warmAccess(0x8000, false);
+    // Evict 0x8000 from L1 by filling its set (L1 32KB/2-way: stride
+    // = numSets*block = 512*32 = 16KB).
+    mem.warmAccess(0x8000 + 16 * 1024, false);
+    mem.warmAccess(0x8000 + 32 * 1024, false);
+    const uint64_t l2_hit = mem.load(0x8000, 1000);
+
+    MemorySystem cold(cfg);
+    const uint64_t l2_miss = cold.load(0x8000, 1000);
+    EXPECT_GT(l2_miss, l2_hit);
+    // DRAM latency at 4 GHz is 400 cycles; the miss must reflect it.
+    EXPECT_GE(l2_miss - 1000, 400u);
+}
+
+TEST(MemorySystem, MshrMergesSameBlock)
+{
+    auto cfg = baseConfig();
+    MemorySystem mem(cfg);
+    const uint64_t first = mem.load(0x4000, 10);
+    const uint64_t second = mem.load(0x4008, 11);  // same block
+    // The second load waits on the first load's in-flight fill.
+    EXPECT_EQ(second, std::max(first, 11 + static_cast<uint64_t>(
+        cfg.l1dLatency)));
+    EXPECT_EQ(mem.l1d().accesses(), 2u);
+}
+
+TEST(MemorySystem, MshrExhaustionReturnsZero)
+{
+    auto cfg = baseConfig();
+    cfg.mshrs = 2;
+    MemorySystem mem(cfg);
+    EXPECT_NE(mem.load(0x10000, 10), 0u);
+    EXPECT_NE(mem.load(0x20000, 10), 0u);
+    EXPECT_EQ(mem.load(0x30000, 10), 0u);  // all MSHRs busy
+}
+
+TEST(MemorySystem, MshrFreesAfterCompletion)
+{
+    auto cfg = baseConfig();
+    cfg.mshrs = 1;
+    MemorySystem mem(cfg);
+    const uint64_t done = mem.load(0x10000, 10);
+    ASSERT_NE(done, 0u);
+    EXPECT_EQ(mem.load(0x20000, 11), 0u);
+    EXPECT_NE(mem.load(0x20000, done + 1), 0u);
+}
+
+TEST(MemorySystem, BusContentionSerializesMisses)
+{
+    auto cfg = baseConfig();
+    cfg.l2BusBytes = 8;  // narrow bus
+    CactiModel::applyLatencies(cfg);
+    MemorySystem mem(cfg);
+    const uint64_t a = mem.load(0x10000, 10);
+    const uint64_t b = mem.load(0x20000, 10);
+    EXPECT_GT(b, a);  // second miss queues behind the first transfer
+}
+
+TEST(MemorySystem, WiderBusNoSlower)
+{
+    for (uint64_t start : {10ull, 500ull}) {
+        auto narrow_cfg = baseConfig();
+        narrow_cfg.l2BusBytes = 8;
+        auto wide_cfg = baseConfig();
+        wide_cfg.l2BusBytes = 32;
+        MemorySystem narrow(narrow_cfg), wide(wide_cfg);
+        uint64_t last_narrow = 0, last_wide = 0;
+        for (int i = 0; i < 8; ++i) {
+            last_narrow = narrow.load(0x10000 + i * 4096, start);
+            last_wide = wide.load(0x10000 + i * 4096, start);
+        }
+        EXPECT_LE(last_wide, last_narrow);
+    }
+}
+
+TEST(MemorySystem, FasterFsbNoSlower)
+{
+    auto slow_cfg = baseConfig();
+    slow_cfg.fsbGHz = 0.533;
+    auto fast_cfg = baseConfig();
+    fast_cfg.fsbGHz = 1.4;
+    MemorySystem slow(slow_cfg), fast(fast_cfg);
+    uint64_t last_slow = 0, last_fast = 0;
+    for (int i = 0; i < 8; ++i) {
+        last_slow = slow.load(0x100000 + i * 65536, 10);
+        last_fast = fast.load(0x100000 + i * 65536, 10);
+    }
+    EXPECT_LE(last_fast, last_slow);
+}
+
+TEST(MemorySystem, WriteBackStoreHitIsFast)
+{
+    auto cfg = baseConfig();
+    MemorySystem mem(cfg);
+    mem.warmAccess(0x1000, false);
+    EXPECT_EQ(mem.store(0x1000, 50),
+              50 + static_cast<uint64_t>(cfg.l1dLatency));
+}
+
+TEST(MemorySystem, WriteThroughGeneratesL2Traffic)
+{
+    auto cfg = baseConfig();
+    cfg.l1d.writeBack = false;
+    MemorySystem mem(cfg);
+    mem.warmAccess(0x1000, false);
+    const uint64_t l2_before = mem.l2().accesses();
+    mem.store(0x1000, 50);
+    EXPECT_GT(mem.l2().accesses(), l2_before);
+}
+
+TEST(MemorySystem, WriteThroughBackpressureStallsSustainedStores)
+{
+    auto cfg = baseConfig();
+    cfg.l1d.writeBack = false;
+    cfg.l2BusBytes = 8;
+    MemorySystem mem(cfg);
+    // Hammer stores at the same cycle: eventually the write buffer
+    // fills and the store's ready time exceeds the L1 latency.
+    uint64_t worst = 0;
+    for (int i = 0; i < 64; ++i)
+        worst = std::max(worst, mem.store(0x1000 + i * 64, 10));
+    EXPECT_GT(worst, 10 + static_cast<uint64_t>(cfg.l1dLatency));
+}
+
+TEST(MemorySystem, FetchPathWorks)
+{
+    auto cfg = baseConfig();
+    MemorySystem mem(cfg);
+    const uint64_t miss = mem.fetch(0x400000, 10);
+    EXPECT_GT(miss, 10 + static_cast<uint64_t>(cfg.l1iLatency));
+    const uint64_t hit = mem.fetch(0x400000, miss);
+    EXPECT_EQ(hit, miss + static_cast<uint64_t>(cfg.l1iLatency));
+}
+
+TEST(MemorySystem, ResetStatsZeroesCounters)
+{
+    auto cfg = baseConfig();
+    MemorySystem mem(cfg);
+    mem.load(0x1000, 10);
+    mem.resetStats();
+    EXPECT_EQ(mem.l1d().accesses(), 0u);
+    EXPECT_EQ(mem.l2().accesses(), 0u);
+}
+
+TEST(Cacti, CalibratedL1Point)
+{
+    // The paper's fixed L1I: 32KB -> 2 cycles at 4 GHz.
+    EXPECT_EQ(CactiModel::cycles(
+        CactiModel::l1AccessNs({32, 32, 2, true}), 4.0), 2);
+}
+
+TEST(Cacti, MonotoneInSize)
+{
+    double prev = 0.0;
+    for (int kb : {8, 16, 32, 64}) {
+        const double t = CactiModel::l1AccessNs({kb, 32, 2, true});
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+    prev = 0.0;
+    for (int kb : {256, 512, 1024, 2048}) {
+        const double t = CactiModel::l2AccessNs({kb, 64, 8, true});
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Cacti, MonotoneInAssociativity)
+{
+    double prev = 0.0;
+    for (int w : {1, 2, 4, 8}) {
+        const double t = CactiModel::l1AccessNs({32, 32, w, true});
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Cacti, CyclesScaleWithFrequency)
+{
+    const double ns = CactiModel::l2AccessNs({1024, 64, 8, true});
+    EXPECT_LE(CactiModel::cycles(ns, 2.0), CactiModel::cycles(ns, 4.0));
+    EXPECT_GE(CactiModel::cycles(ns, 0.001), 1);
+}
+
+TEST(Cacti, AppliesAllLatencies)
+{
+    MachineConfig cfg;
+    cfg.freqGHz = 2.0;
+    CactiModel::applyLatencies(cfg);
+    EXPECT_GE(cfg.l1iLatency, 1);
+    EXPECT_GE(cfg.l1dLatency, 1);
+    EXPECT_GT(cfg.l2Latency, cfg.l1dLatency);
+}
+
+} // namespace
+} // namespace sim
+} // namespace dse

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace dse {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue)
+{
+    OnlineStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(OnlineStats, MatchesDirectComputation)
+{
+    const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+    OnlineStats s;
+    for (double x : xs)
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+    // Unbiased variance: sum((x-6.2)^2)/4 = (27.04+17.64+4.84+3.24+96.04)/4
+    EXPECT_NEAR(s.variance(), 37.2, 1e-9);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 16.0);
+}
+
+TEST(OnlineStats, MergeEqualsCombined)
+{
+    OnlineStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = i * 0.37;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty)
+{
+    OnlineStats a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean_before = a.mean();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+
+    OnlineStats c;
+    c.merge(a);
+    EXPECT_DOUBLE_EQ(c.mean(), a.mean());
+}
+
+TEST(Summarize, Basic)
+{
+    auto s = summarize({2.0, 4.0, 6.0});
+    EXPECT_DOUBLE_EQ(s.mean, 4.0);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 6.0);
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_NEAR(s.stddev, 2.0, 1e-12);
+}
+
+TEST(Summarize, Empty)
+{
+    auto s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(PercentageError, Basics)
+{
+    EXPECT_DOUBLE_EQ(percentageError(1.1, 1.0), 10.000000000000009);
+    EXPECT_NEAR(percentageError(0.9, 1.0), 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(percentageError(2.0, 2.0), 0.0);
+}
+
+TEST(PercentageError, RelativeNotAbsolute)
+{
+    // Erring by 1 matters more on a small target (Section 3.3).
+    EXPECT_GT(percentageError(3.0, 2.0), percentageError(61.0, 60.0));
+}
+
+TEST(PercentageError, ZeroActual)
+{
+    EXPECT_DOUBLE_EQ(percentageError(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentageError(1.0, 0.0), 1000.0);  // capped
+}
+
+TEST(PercentageError, Capped)
+{
+    EXPECT_DOUBLE_EQ(percentageError(100.0, 0.001), 1000.0);
+    EXPECT_DOUBLE_EQ(percentageError(100.0, 0.001, 50.0), 50.0);
+}
+
+TEST(MeanStddev, Vectors)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_NEAR(stddev({1.0, 3.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Pearson, PerfectCorrelation)
+{
+    EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+    EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateIsZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {2, 3, 4}), 0.0);
+    EXPECT_DOUBLE_EQ(pearson({1}, {2}), 0.0);
+}
+
+TEST(Interpolate, MidpointAndClamping)
+{
+    const std::vector<double> xs{0.0, 1.0, 2.0};
+    const std::vector<double> ys{0.0, 10.0, 40.0};
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 1.5), 25.0);
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, -1.0), 0.0);   // clamp low
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 9.0), 40.0);   // clamp high
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 1.0), 10.0);   // exact knot
+}
+
+/** Property: OnlineStats matches two-pass formulas on random data. */
+class StatsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsPropertyTest, WelfordMatchesTwoPass)
+{
+    const int n = GetParam();
+    std::vector<double> xs;
+    OnlineStats s;
+    for (int i = 0; i < n; ++i) {
+        const double x = std::sin(i * 12.9898) * 43758.5453;
+        const double v = x - std::floor(x);
+        xs.push_back(v);
+        s.add(v);
+    }
+    EXPECT_NEAR(s.mean(), mean(xs), 1e-9);
+    EXPECT_NEAR(s.stddev(), stddev(xs), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StatsPropertyTest,
+                         ::testing::Values(2, 3, 10, 100, 1000));
+
+} // namespace
+} // namespace dse

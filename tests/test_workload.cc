@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator: determinism, profile
+ * fidelity, and the structural properties the simulator and SimPoint
+ * rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace dse {
+namespace workload {
+namespace {
+
+TEST(Profile, AllEightBenchmarksExist)
+{
+    EXPECT_EQ(benchmarkNames().size(), 8u);
+    for (const auto &name : benchmarkNames()) {
+        const auto profile = benchmarkProfile(name);
+        EXPECT_EQ(profile.name, name);
+        EXPECT_FALSE(profile.phases.empty());
+        EXPECT_FALSE(profile.schedule.empty());
+    }
+}
+
+TEST(Profile, UnknownBenchmarkThrows)
+{
+    EXPECT_THROW(benchmarkProfile("doom"), std::invalid_argument);
+}
+
+TEST(Profile, ScheduleFractionsSumToOne)
+{
+    for (const auto &name : benchmarkNames()) {
+        const auto profile = benchmarkProfile(name);
+        double total = 0.0;
+        for (const auto &[phase, frac] : profile.schedule) {
+            EXPECT_GE(phase, 0);
+            EXPECT_LT(phase, static_cast<int>(profile.phases.size()));
+            total += frac;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9) << name;
+    }
+}
+
+TEST(Generator, RequestedLengthHonoured)
+{
+    const auto trace = generateBenchmarkTrace("gzip", 10000);
+    EXPECT_EQ(trace.size(), 10000u);
+}
+
+TEST(Generator, ZeroLengthUsesProfileDefault)
+{
+    const auto profile = benchmarkProfile("mcf");
+    const auto trace = generateBenchmarkTrace("mcf");
+    EXPECT_EQ(trace.size(), profile.traceLength);
+}
+
+TEST(Generator, MemoryBoundAppsHaveLongerTraces)
+{
+    EXPECT_GT(benchmarkProfile("mcf").traceLength,
+              benchmarkProfile("gzip").traceLength);
+    EXPECT_GT(benchmarkProfile("twolf").traceLength,
+              benchmarkProfile("crafty").traceLength);
+}
+
+TEST(Generator, RejectsEmptyProfile)
+{
+    AppProfile empty;
+    empty.name = "empty";
+    EXPECT_THROW(generateTrace(empty, 100), std::invalid_argument);
+}
+
+/** Per-benchmark structural property checks. */
+class TraceTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void SetUp() override { trace_ = generateBenchmarkTrace(GetParam()); }
+    Trace trace_;
+};
+
+TEST_P(TraceTest, DeterministicReplay)
+{
+    const auto again = generateBenchmarkTrace(GetParam());
+    ASSERT_EQ(trace_.size(), again.size());
+    for (size_t i = 0; i < trace_.size(); i += 997) {
+        EXPECT_EQ(trace_.ops[i].pc, again.ops[i].pc);
+        EXPECT_EQ(trace_.ops[i].addr, again.ops[i].addr);
+        EXPECT_EQ(trace_.ops[i].cls, again.ops[i].cls);
+        EXPECT_EQ(trace_.ops[i].taken, again.ops[i].taken);
+    }
+}
+
+TEST_P(TraceTest, DependencesPointBackwards)
+{
+    for (size_t i = 0; i < trace_.size(); ++i) {
+        const auto &op = trace_.ops[i];
+        EXPECT_GE(op.src1, 0);
+        EXPECT_GE(op.src2, 0);
+        EXPECT_LE(static_cast<size_t>(op.src1), i);
+        EXPECT_LE(static_cast<size_t>(op.src2), i);
+    }
+}
+
+TEST_P(TraceTest, BranchMetadataConsistent)
+{
+    for (const auto &op : trace_.ops) {
+        if (op.cls == OpClass::Branch) {
+            EXPECT_GE(op.branchId, 0);
+            EXPECT_LT(op.branchId, trace_.numBranches);
+        } else {
+            EXPECT_EQ(op.branchId, -1);
+            EXPECT_FALSE(op.taken);
+        }
+    }
+}
+
+TEST_P(TraceTest, BlockIdsWithinRange)
+{
+    for (const auto &op : trace_.ops)
+        EXPECT_LT(op.block, trace_.numBlocks);
+}
+
+TEST_P(TraceTest, StaticBlocksHaveStablePcs)
+{
+    // Every dynamic instance of a block must execute the same
+    // instruction sequence at the same addresses (SimPoint's BBVs
+    // depend on this).
+    std::map<uint32_t, std::pair<uint16_t, OpClass>> by_pc;
+    for (const auto &op : trace_.ops) {
+        auto [it, inserted] =
+            by_pc.try_emplace(op.pc, op.block, op.cls);
+        if (!inserted) {
+            EXPECT_EQ(it->second.first, op.block);
+            EXPECT_EQ(it->second.second, op.cls);
+        }
+    }
+}
+
+TEST_P(TraceTest, MixRoughlyMatchesProfile)
+{
+    const auto profile = benchmarkProfile(GetParam());
+    // Expected dynamic fractions: schedule-weighted phase mixes.
+    double f_load = 0.0, f_branch = 0.0, f_fp = 0.0;
+    for (const auto &[phase, frac] : profile.schedule) {
+        const auto &p = profile.phases[static_cast<size_t>(phase)];
+        f_load += frac * p.fLoad;
+        f_branch += frac * p.fBranch;
+        f_fp += frac * (p.fFpAlu + p.fFpMul);
+    }
+    size_t loads = 0, branches = 0, fp = 0;
+    for (const auto &op : trace_.ops) {
+        loads += op.cls == OpClass::Load;
+        branches += op.cls == OpClass::Branch;
+        fp += op.cls == OpClass::FpAlu || op.cls == OpClass::FpMul;
+    }
+    // Loop weighting and skip branches reshape the realized mix;
+    // require agreement to within a few percentage points.
+    const double n = static_cast<double>(trace_.size());
+    EXPECT_NEAR(loads / n, f_load, 0.09);
+    EXPECT_NEAR(branches / n, f_branch, 0.09);
+    EXPECT_NEAR(fp / n, f_fp, 0.09);
+}
+
+TEST_P(TraceTest, MemoryOpsHaveAddresses)
+{
+    for (const auto &op : trace_.ops) {
+        if (op.cls == OpClass::Load || op.cls == OpClass::Store)
+            EXPECT_NE(op.addr, 0u);
+        else
+            EXPECT_FALSE(op.noWarm);
+    }
+}
+
+TEST_P(TraceTest, ColdAccessesNeverRepeat)
+{
+    std::set<uint64_t> cold;
+    for (const auto &op : trace_.ops) {
+        if (op.noWarm) {
+            EXPECT_TRUE(cold.insert(op.addr).second)
+                << "cold address repeated";
+        }
+    }
+}
+
+TEST_P(TraceTest, UsesMultipleBlocksAndBranches)
+{
+    std::set<uint16_t> blocks;
+    std::set<int16_t> branch_ids;
+    for (const auto &op : trace_.ops) {
+        blocks.insert(op.block);
+        if (op.branchId >= 0)
+            branch_ids.insert(op.branchId);
+    }
+    EXPECT_GT(blocks.size(), 10u);
+    EXPECT_GT(branch_ids.size(), 5u);
+}
+
+TEST_P(TraceTest, TracesDifferAcrossBenchmarks)
+{
+    const auto other =
+        generateBenchmarkTrace(GetParam() == "gzip" ? "mcf" : "gzip",
+                               trace_.size());
+    size_t differing = 0;
+    for (size_t i = 0; i < trace_.size(); i += 101)
+        differing += trace_.ops[i].pc != other.ops[i].pc;
+    EXPECT_GT(differing, trace_.size() / 101 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, TraceTest,
+                         ::testing::ValuesIn(benchmarkNames()));
+
+} // namespace
+} // namespace workload
+} // namespace dse
