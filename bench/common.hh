@@ -7,7 +7,9 @@
  *
  * Scope knobs (environment): DSE_APPS, DSE_EVAL_POINTS,
  * DSE_FULL_SPACE, DSE_TRACE_LEN, DSE_MAX_SAMPLE_PCT, DSE_BATCH
- * (study::BenchScope), plus DSE_MAX_EPOCHS for the training budget.
+ * (study::BenchScope), plus DSE_MAX_EPOCHS for the training budget
+ * and DSE_THREADS for the worker pool that batch simulation, fold
+ * training, and holdout evaluation fan out on.
  */
 
 #ifndef DSE_BENCH_COMMON_HH
@@ -24,9 +26,17 @@
 #include "util/env.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace dse {
 namespace bench {
+
+/** Threads the global pool runs loops on (DSE_THREADS / hardware). */
+inline size_t
+effectiveThreads()
+{
+    return util::ThreadPool::global().threadCount();
+}
 
 /** One point of a learning curve. */
 struct CurvePoint
@@ -94,6 +104,14 @@ learningCurve(study::StudyContext &ctx, const std::vector<size_t> &sizes,
     const auto eval = study::holdoutIndices(ctx.space(), order,
                                             eval_points, seed + 1);
 
+    // Run every training-set simulation up front as one parallel
+    // batch; the incremental loop below then reads the memoized
+    // results (the holdout is batched inside measureTrueError).
+    if (simpoint)
+        ctx.simulateSimPointBatch(order);
+    else
+        ctx.simulateBatch(order);
+
     std::vector<CurvePoint> curve;
     ml::DataSet data;
     size_t filled = 0;
@@ -139,7 +157,8 @@ firstReaching(const std::vector<CurvePoint> &curve, double target_pct)
 inline void
 printCurve(const std::string &title, const std::vector<CurvePoint> &curve)
 {
-    std::printf("\n== %s ==\n", title.c_str());
+    std::printf("\n== %s (threads=%zu) ==\n", title.c_str(),
+                effectiveThreads());
     Table t({"samples", "sample%", "est_mean%", "est_sd%", "true_mean%",
              "true_sd%"});
     for (const auto &p : curve) {

@@ -1,5 +1,9 @@
 #!/bin/bash
 cd /root/repo
+# Fan batch simulation / fold training / holdout evaluation out over
+# all cores unless the caller pinned a thread count.
+export DSE_THREADS="${DSE_THREADS:-$(nproc)}"
+echo "DSE_THREADS=$DSE_THREADS"
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo "===================================================================="

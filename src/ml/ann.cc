@@ -56,14 +56,17 @@ Ann::Ann(int inputs, int outputs, const AnnParams &params, Rng &rng)
 }
 
 void
-Ann::forward(const std::vector<double> &input) const
+Ann::forwardInto(const std::vector<double> &input,
+                 std::vector<std::vector<double>> &act) const
 {
     assert(static_cast<int>(input.size()) == inputs_);
-    act_[0] = input;
+    act.resize(layers_.size() + 1);
+    act[0] = input;
     for (size_t l = 0; l < layers_.size(); ++l) {
         const Layer &layer = layers_[l];
-        const std::vector<double> &in = act_[l];
-        std::vector<double> &out = act_[l + 1];
+        const std::vector<double> &in = act[l];
+        std::vector<double> &out = act[l + 1];
+        out.resize(static_cast<size_t>(layer.out));
         for (int j = 0; j < layer.out; ++j) {
             const double *w = &layer.w[static_cast<size_t>(j) *
                                        (layer.in + 1)];
@@ -75,18 +78,38 @@ Ann::forward(const std::vector<double> &input) const
     }
 }
 
+void
+Ann::forward(const std::vector<double> &input) const
+{
+    forwardInto(input, act_);
+}
+
+namespace {
+
+/** Per-thread activation scratch for concurrent const predictions. */
+std::vector<std::vector<double>> &
+predictScratch()
+{
+    thread_local std::vector<std::vector<double>> act;
+    return act;
+}
+
+} // namespace
+
 std::vector<double>
 Ann::predict(const std::vector<double> &input) const
 {
-    forward(input);
-    return act_.back();
+    auto &act = predictScratch();
+    forwardInto(input, act);
+    return act.back();
 }
 
 double
 Ann::predictScalar(const std::vector<double> &input) const
 {
-    forward(input);
-    return act_.back()[0];
+    auto &act = predictScratch();
+    forwardInto(input, act);
+    return act.back()[0];
 }
 
 double

@@ -67,10 +67,15 @@ class Ann
      */
     Ann(int inputs, int outputs, const AnnParams &params, Rng &rng);
 
-    /** Forward pass; returns the output activations. */
+    /**
+     * Forward pass; returns the output activations. Thread-safe on a
+     * const network: concurrent predictions (parallel design-space
+     * evaluation) use per-thread scratch, not the member activation
+     * buffers that train() owns.
+     */
     std::vector<double> predict(const std::vector<double> &input) const;
 
-    /** Convenience for single-output networks. */
+    /** Convenience for single-output networks (also thread-safe). */
     double predictScalar(const std::vector<double> &input) const;
 
     /**
@@ -110,6 +115,8 @@ class Ann
     };
 
     void forward(const std::vector<double> &input) const;
+    void forwardInto(const std::vector<double> &input,
+                     std::vector<std::vector<double>> &act) const;
 
     int inputs_;
     int outputs_;

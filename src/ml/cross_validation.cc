@@ -5,9 +5,11 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "util/stats.hh"
+#include "util/thread_pool.hh"
 
 namespace dse {
 namespace ml {
@@ -132,12 +134,22 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
     for (size_t i = 0; i < order.size(); ++i)
         folds[i % static_cast<size_t>(k)].push_back(order[i]);
 
-    const int inputs = static_cast<int>(data.x.front().size());
-    std::vector<Ann> nets;
-    nets.reserve(static_cast<size_t>(k));
-    std::vector<double> pooled_pct_errors;
+    // Each fold network owns an independent RNG stream seeded from a
+    // SplitMix64 sequence over the training seed, so folds can train
+    // concurrently and still produce results bit-identical to serial
+    // execution at any thread count.
+    SplitMix64 seeder(opts.seed ^ 0xd1b54a32d192ed03ull);
+    std::vector<uint64_t> fold_seeds(static_cast<size_t>(k));
+    for (auto &s : fold_seeds)
+        s = seeder.next();
 
-    for (int m = 0; m < k; ++m) {
+    const int inputs = static_cast<int>(data.x.front().size());
+    std::vector<std::optional<Ann>> slots(static_cast<size_t>(k));
+    std::vector<std::vector<double>> fold_pct_errors(
+        static_cast<size_t>(k));
+
+    auto train_fold = [&](size_t mi) {
+        const int m = static_cast<int>(mi);
         // Model m: ES fold = (m + k - 1) % k, test fold = m, train on
         // the rest (Figure 3.3's rotation).
         const int test_fold = m;
@@ -155,7 +167,8 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
         const std::vector<size_t> &test_rows =
             folds[static_cast<size_t>(test_fold)];
 
-        Ann net(inputs, 1, opts.ann, rng);
+        Rng fold_rng(fold_seeds[mi]);
+        Ann net(inputs, 1, opts.ann, fold_rng);
         const auto cdf = presentationCdf(data, train_rows,
                                          opts.weightedPresentation);
 
@@ -172,7 +185,7 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
             }
             // One epoch = train_rows.size() weighted presentations.
             for (size_t n = 0; n < train_rows.size(); ++n) {
-                const size_t row = train_rows[drawRow(cdf, rng)];
+                const size_t row = train_rows[drawRow(cdf, fold_rng)];
                 target[0] = scaler.encode(data.y[row]);
                 net.train(data.x[row], target);
             }
@@ -197,9 +210,25 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
         for (size_t row : test_rows) {
             const double pred =
                 scaler.decode(net.predictScalar(data.x[row]));
-            pooled_pct_errors.push_back(percentageError(pred, data.y[row]));
+            fold_pct_errors[mi].push_back(
+                percentageError(pred, data.y[row]));
         }
-        nets.push_back(std::move(net));
+        slots[mi].emplace(std::move(net));
+    };
+
+    util::ThreadPool::global().parallelFor(0, static_cast<size_t>(k),
+                                           train_fold);
+
+    // Reassemble in fold order: nets and pooled errors are identical
+    // regardless of which thread trained which fold.
+    std::vector<Ann> nets;
+    nets.reserve(static_cast<size_t>(k));
+    std::vector<double> pooled_pct_errors;
+    for (int m = 0; m < k; ++m) {
+        nets.push_back(std::move(*slots[static_cast<size_t>(m)]));
+        const auto &errs = fold_pct_errors[static_cast<size_t>(m)];
+        pooled_pct_errors.insert(pooled_pct_errors.end(), errs.begin(),
+                                 errs.end());
     }
 
     ErrorEstimate est;

@@ -18,6 +18,12 @@
  *    absolute) error;
  *  - early stopping monitors percentage error on the ES fold and
  *    rolls back to the best-seen weights.
+ *
+ * Fold networks are independent: each owns an RNG stream derived from
+ * the training seed via SplitMix64, so trainEnsemble trains the k
+ * folds concurrently on the global ThreadPool, with results
+ * bit-identical to serial execution at any DSE_THREADS setting (see
+ * DESIGN.md, "Parallel execution & determinism").
  */
 
 #ifndef DSE_ML_CROSS_VALIDATION_HH

@@ -1,7 +1,10 @@
 #include "ml/explorer.hh"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
+
+#include "util/thread_pool.hh"
 
 namespace dse {
 namespace ml {
@@ -59,12 +62,13 @@ Explorer::pickBatch(size_t n)
         // member disagreement, keep the most uncertain points.
         std::vector<uint64_t> pool =
             draw_unseen(std::max(n, opts_.candidatePool));
-        std::vector<std::pair<double, uint64_t>> scored;
-        scored.reserve(pool.size());
-        for (uint64_t idx : pool) {
-            scored.emplace_back(
-                ensemble_->memberSpread(space_.encodeIndex(idx)), idx);
-        }
+        std::vector<std::pair<double, uint64_t>> scored(pool.size());
+        util::ThreadPool::global().parallelFor(
+            0, pool.size(), [&](size_t i) {
+                scored[i] = {
+                    ensemble_->memberSpread(space_.encodeIndex(pool[i])),
+                    pool[i]};
+            });
         std::sort(scored.begin(), scored.end(),
                   [](const auto &a, const auto &b) {
                       return a.first > b.first;
@@ -137,6 +141,26 @@ double
 Explorer::predictIndex(uint64_t index) const
 {
     return ensemble().predict(space_.encodeIndex(index));
+}
+
+std::vector<double>
+Explorer::predictIndices(const std::vector<uint64_t> &indices) const
+{
+    const Ensemble &model = ensemble();
+    std::vector<double> out(indices.size());
+    util::ThreadPool::global().parallelFor(
+        0, indices.size(), [&](size_t i) {
+            out[i] = model.predict(space_.encodeIndex(indices[i]));
+        });
+    return out;
+}
+
+std::vector<double>
+Explorer::predictSpace() const
+{
+    std::vector<uint64_t> all(space_.size());
+    std::iota(all.begin(), all.end(), 0);
+    return predictIndices(all);
 }
 
 } // namespace ml

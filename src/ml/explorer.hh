@@ -98,6 +98,17 @@ class Explorer
     /** Predict the target for any point in the space. */
     double predictIndex(uint64_t index) const;
 
+    /**
+     * Predict a set of points, evaluated in parallel chunks on the
+     * global ThreadPool (results in input order, bit-identical to a
+     * serial predictIndex loop at any thread count).
+     */
+    std::vector<double>
+    predictIndices(const std::vector<uint64_t> &indices) const;
+
+    /** Predict every point of the design space (parallel chunks). */
+    std::vector<double> predictSpace() const;
+
   private:
     std::vector<uint64_t> pickBatch(size_t n);
 

@@ -6,6 +6,7 @@
 #include "util/env.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
+#include "util/thread_pool.hh"
 #include "workload/generator.hh"
 
 namespace dse {
@@ -21,20 +22,98 @@ StudyContext::StudyContext(StudyKind kind, const std::string &app,
 const sim::SimResult &
 StudyContext::simulateFull(uint64_t index)
 {
-    auto it = cache_.find(index);
-    if (it != cache_.end())
-        return it->second;
+    auto &shard = shardFor(cache_, index);
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.map.find(index);
+        if (it != shard.map.end())
+            return it->second;
+    }
 
+    // Simulate outside the lock: concurrent callers may duplicate the
+    // work of a point briefly in flight, but the result is a pure
+    // function of the index, so whichever insert wins is identical.
     sim::SimOptions opts;
     opts.warmCaches = true;
     auto result = sim::simulate(trace_, config(index), opts);
-    return cache_.emplace(index, result).first->second;
+
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.map.emplace(index, std::move(result)).first->second;
 }
 
 double
 StudyContext::simulateIpc(uint64_t index)
 {
     return simulateFull(index).ipc;
+}
+
+size_t
+StudyContext::simulationsRun() const
+{
+    size_t n = 0;
+    for (const auto &shard : cache_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        n += shard.map.size();
+    }
+    return n;
+}
+
+std::vector<double>
+StudyContext::simulateBatch(const std::vector<uint64_t> &indices)
+{
+    // Deduplicate and drop cache hits so pool workers only run
+    // distinct missing simulations.
+    std::vector<uint64_t> todo;
+    {
+        std::unordered_set<uint64_t> seen;
+        for (uint64_t idx : indices) {
+            if (!seen.insert(idx).second)
+                continue;
+            auto &shard = shardFor(cache_, idx);
+            std::lock_guard<std::mutex> lock(shard.mu);
+            if (!shard.map.count(idx))
+                todo.push_back(idx);
+        }
+    }
+    util::ThreadPool::global().parallelFor(
+        0, todo.size(), [&](size_t i) { simulateFull(todo[i]); });
+
+    std::vector<double> out;
+    out.reserve(indices.size());
+    for (uint64_t idx : indices)
+        out.push_back(simulateFull(idx).ipc);
+    return out;
+}
+
+std::vector<double>
+StudyContext::simulateSimPointBatch(const std::vector<uint64_t> &indices)
+{
+    // Resolve the SimPoint selection and calibration up front so the
+    // parallel region only reads them.
+    simPoints();
+    simPointScale();
+
+    std::vector<uint64_t> todo;
+    {
+        std::unordered_set<uint64_t> seen;
+        for (uint64_t idx : indices) {
+            if (!seen.insert(idx).second)
+                continue;
+            auto &shard = shardFor(simPointCache_, idx);
+            std::lock_guard<std::mutex> lock(shard.mu);
+            if (!shard.map.count(idx))
+                todo.push_back(idx);
+        }
+    }
+    util::ThreadPool::global().parallelFor(
+        0, todo.size(),
+        [&](size_t i) { simulateSimPointIpc(todo[i]); });
+
+    std::vector<double> out;
+    out.reserve(indices.size());
+    for (uint64_t idx : indices)
+        out.push_back(simulateSimPointIpc(idx));
+    return out;
 }
 
 sim::MachineConfig
@@ -46,6 +125,7 @@ StudyContext::config(uint64_t index) const
 const simpoint::SimPoints &
 StudyContext::simPoints()
 {
+    std::lock_guard<std::mutex> lock(simPointMu_);
     if (!simPoints_) {
         simpoint::SimPointOptions opts;
         // Scale the interval to the trace (the paper scales 100M ->
@@ -62,24 +142,44 @@ StudyContext::simPoints()
 }
 
 double
+StudyContext::simPointScale()
+{
+    {
+        std::lock_guard<std::mutex> lock(simPointMu_);
+        if (simPointScale_ != 0.0)
+            return simPointScale_;
+    }
+    // One-time calibration against the space's middle point, computed
+    // outside the lock (both inputs are deterministic, so concurrent
+    // calibrations agree and the first store wins harmlessly).
+    const uint64_t ref = space_.size() / 2;
+    const double full = simulateFull(ref).ipc;
+    const double raw =
+        simpoint::estimateIpc(trace_, config(ref), simPoints()).ipc;
+    const double scale = raw > 0.0 ? full / raw : 1.0;
+
+    std::lock_guard<std::mutex> lock(simPointMu_);
+    if (simPointScale_ == 0.0)
+        simPointScale_ = scale;
+    return simPointScale_;
+}
+
+double
 StudyContext::simulateSimPointIpc(uint64_t index)
 {
-    if (simPointScale_ == 0.0) {
-        // One-time calibration against the space's middle point.
-        const uint64_t ref = space_.size() / 2;
-        const double full = simulateFull(ref).ipc;
-        const double raw =
-            simpoint::estimateIpc(trace_, config(ref), simPoints()).ipc;
-        simPointScale_ = raw > 0.0 ? full / raw : 1.0;
+    const double scale = simPointScale();
+    auto &shard = shardFor(simPointCache_, index);
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.map.find(index);
+        if (it != shard.map.end())
+            return it->second;
     }
-    auto it = simPointCache_.find(index);
-    if (it != simPointCache_.end())
-        return it->second;
     const auto est = simpoint::estimateIpc(trace_, config(index),
                                            simPoints());
-    const double calibrated = est.ipc * simPointScale_;
-    simPointCache_.emplace(index, calibrated);
-    return calibrated;
+    const double calibrated = est.ipc * scale;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.map.emplace(index, calibrated).first->second;
 }
 
 std::vector<uint64_t>
@@ -119,14 +219,17 @@ TrueError
 measureTrueError(StudyContext &ctx, const ml::Ensemble &model,
                  const std::vector<uint64_t> &eval_points)
 {
-    std::vector<double> errors;
-    errors.reserve(eval_points.size());
-    for (uint64_t idx : eval_points) {
-        const double actual = ctx.simulateIpc(idx);
-        const double predicted =
-            model.predict(ctx.space().encodeIndex(idx));
-        errors.push_back(percentageError(predicted, actual));
-    }
+    // Simulate the holdout concurrently, then score each point into
+    // its own slot; the reduction runs over a fixed order, so the
+    // result is independent of thread count.
+    const auto actual = ctx.simulateBatch(eval_points);
+    std::vector<double> errors(eval_points.size());
+    util::ThreadPool::global().parallelFor(
+        0, eval_points.size(), [&](size_t i) {
+            const double predicted =
+                model.predict(ctx.space().encodeIndex(eval_points[i]));
+            errors[i] = percentageError(predicted, actual[i]);
+        });
     TrueError out;
     out.meanPct = mean(errors);
     out.sdPct = stddev(errors);
@@ -145,6 +248,7 @@ BenchScope::fromEnv(const std::vector<std::string> &default_apps)
     scope.traceLength = static_cast<size_t>(envInt("DSE_TRACE_LEN", 0));
     scope.maxSamplePct = envDouble("DSE_MAX_SAMPLE_PCT", 4.5);
     scope.batch = static_cast<size_t>(envInt("DSE_BATCH", 50));
+    scope.threads = util::ThreadPool::configuredThreads();
     return scope;
 }
 

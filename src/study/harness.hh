@@ -9,8 +9,10 @@
 #ifndef DSE_STUDY_HARNESS_HH
 #define DSE_STUDY_HARNESS_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +34,13 @@ namespace study {
  * Simulations run with warmed caches/predictor (steady state; see
  * SimOptions::warmCaches) so short synthetic traces behave like the
  * paper's long MinneSPEC runs.
+ *
+ * Thread safety: the memoization caches are sharded by index with one
+ * mutex per shard, so simulateFull/simulateIpc/simulateSimPointIpc
+ * (and the batch variants, which fan out on the global ThreadPool)
+ * may be called concurrently. Simulation itself is a pure function of
+ * (trace, config), so concurrent evaluation is bit-identical to
+ * serial regardless of thread count or interleaving.
  */
 class StudyContext
 {
@@ -55,11 +64,22 @@ class StudyContext
     /** IPC of one design point (memoized full simulation). */
     double simulateIpc(uint64_t index);
 
+    /**
+     * Simulate a batch of design points concurrently on the global
+     * ThreadPool (duplicates and cache hits cost nothing extra).
+     * @return the IPC of each input index, in input order
+     */
+    std::vector<double> simulateBatch(const std::vector<uint64_t> &indices);
+
+    /** SimPoint-estimate analogue of simulateBatch (Section 5.3). */
+    std::vector<double>
+    simulateSimPointBatch(const std::vector<uint64_t> &indices);
+
     /** Machine configuration of a design point. */
     sim::MachineConfig config(uint64_t index) const;
 
     /** Number of distinct detailed simulations performed so far. */
-    size_t simulationsRun() const { return cache_.size(); }
+    size_t simulationsRun() const;
 
     /** Instructions per detailed simulation (trace length). */
     size_t instructionsPerSimulation() const { return trace_.size(); }
@@ -95,12 +115,35 @@ class StudyContext
     }
 
   private:
+    /** Mutex-sharded memoization map (values are never mutated after
+     *  insertion, and unordered_map never invalidates references, so
+     *  returned references stay valid under concurrent inserts). */
+    template <typename V>
+    struct CacheShard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<uint64_t, V> map;
+    };
+    static constexpr size_t kCacheShards = 16;
+
+    template <typename V>
+    static CacheShard<V> &
+    shardFor(std::array<CacheShard<V>, kCacheShards> &shards,
+             uint64_t index)
+    {
+        return shards[index % kCacheShards];
+    }
+
+    /** Calibrate (once) and return the SimPoint IPC scale factor. */
+    double simPointScale();
+
     StudyKind kind_;
     std::string app_;
     ml::DesignSpace space_;
     workload::Trace trace_;
-    std::unordered_map<uint64_t, sim::SimResult> cache_;
-    std::unordered_map<uint64_t, double> simPointCache_;
+    std::array<CacheShard<sim::SimResult>, kCacheShards> cache_;
+    std::array<CacheShard<double>, kCacheShards> simPointCache_;
+    std::mutex simPointMu_;  ///< guards simPoints_ / simPointScale_
     std::unique_ptr<simpoint::SimPoints> simPoints_;
     double simPointScale_ = 0.0;  ///< lazily calibrated; 0 = not yet
 };
@@ -143,8 +186,11 @@ struct BenchScope
     size_t traceLength = 0;         ///< 0 = library default
     double maxSamplePct = 4.5;      ///< learning-curve extent (% of space)
     size_t batch = 50;              ///< training-set increment
+    size_t threads = 1;             ///< effective worker thread count
 
-    /** Read DSE_APPS / DSE_EVAL_POINTS / DSE_* with these defaults. */
+    /** Read DSE_APPS / DSE_EVAL_POINTS / DSE_THREADS / DSE_* with
+     *  these defaults (threads resolves DSE_THREADS against the
+     *  hardware, matching what the global ThreadPool will use). */
     static BenchScope fromEnv(const std::vector<std::string> &default_apps);
 };
 

@@ -12,16 +12,6 @@ namespace dse {
 namespace {
 
 uint64_t
-splitmix64(uint64_t &x)
-{
-    x += 0x9e3779b97f4a7c15ull;
-    uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-}
-
-uint64_t
 rotl(uint64_t x, int k)
 {
     return (x << k) | (x >> (64 - k));
@@ -29,11 +19,21 @@ rotl(uint64_t x, int k)
 
 } // namespace
 
+uint64_t
+SplitMix64::next()
+{
+    x_ += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 Rng::Rng(uint64_t seed)
 {
-    uint64_t sm = seed;
+    SplitMix64 sm(seed);
     for (auto &word : s_)
-        word = splitmix64(sm);
+        word = sm.next();
 }
 
 uint64_t

@@ -18,6 +18,25 @@
 namespace dse {
 
 /**
+ * SplitMix64 sequence generator (Steele et al.). Primarily a seed
+ * deriver: successive next() values from one stream make statistically
+ * decorrelated seeds for independent Rng streams — e.g. one seed per
+ * cross-validation fold, so folds can train concurrently yet produce
+ * results bit-identical to serial execution at any thread count.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : x_(seed) {}
+
+    /** Next 64-bit value of the stream. */
+    uint64_t next();
+
+  private:
+    uint64_t x_;
+};
+
+/**
  * xoshiro256** PRNG with a splitmix64 seeding sequence.
  *
  * Chosen over std::mt19937 because its output sequence is fully

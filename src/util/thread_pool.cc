@@ -1,0 +1,174 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/env.hh"
+
+namespace dse {
+namespace util {
+
+namespace {
+
+/**
+ * True on any thread currently inside a parallel region (a pool
+ * worker, or a caller participating in its own parallelFor). Nested
+ * parallelFor calls from such threads run inline: the outer loop
+ * already owns the hardware, and recursing into the pool could
+ * deadlock on submitMu_.
+ */
+thread_local bool t_in_parallel_region = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    if (threads == 0)
+        threads = configuredThreads();
+    workers_.reserve(threads - 1);
+    for (size_t i = 0; i + 1 < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+size_t
+ThreadPool::configuredThreads()
+{
+    const long long v = envInt("DSE_THREADS", 0);
+    if (v > 0)
+        return static_cast<size_t>(v);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+ThreadPool::runChunks(const std::function<void(size_t)> &fn, size_t end,
+                      size_t chunk)
+{
+    for (;;) {
+        const size_t start = next_.fetch_add(chunk);
+        if (start >= end)
+            return;
+        const size_t stop = std::min(end, start + chunk);
+        for (size_t i = start; i < stop; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (!error_)
+                    error_ = std::current_exception();
+                next_.store(end);  // abandon remaining iterations
+                return;
+            }
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_in_parallel_region = true;
+    uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(size_t)> *fn = nullptr;
+        size_t end = 0, chunk = 1;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workCv_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            fn = fn_;
+            end = end_;
+            chunk = chunk_;
+        }
+        runChunks(*fn, end, chunk);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --active_;
+        }
+        doneCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end,
+                        const std::function<void(size_t)> &fn)
+{
+    if (end <= begin)
+        return;
+    const size_t n = end - begin;
+
+    // Inline fallbacks: single-threaded pool, trivially small range,
+    // nested call, or another thread mid-submission. All produce the
+    // same results as the parallel path.
+    if (workers_.empty() || n == 1 || t_in_parallel_region ||
+        !submitMu_.try_lock()) {
+        for (size_t i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+    std::lock_guard<std::mutex> submit(submitMu_, std::adopt_lock);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        fn_ = &fn;
+        next_.store(begin);
+        end_ = end;
+        // ~4 chunks per thread: coarse enough to amortize the claim,
+        // fine enough for the atomic counter to balance uneven work.
+        chunk_ = std::max<size_t>(1, n / (4 * threadCount()));
+        error_ = nullptr;
+        active_ = workers_.size();
+        ++generation_;
+    }
+    workCv_.notify_all();
+
+    t_in_parallel_region = true;
+    runChunks(fn, end, chunk_);
+    t_in_parallel_region = false;
+
+    std::unique_lock<std::mutex> lock(mu_);
+    doneCv_.wait(lock, [&] { return active_ == 0; });
+    fn_ = nullptr;
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>();
+    return *g_pool;
+}
+
+void
+ThreadPool::resetGlobal(size_t threads)
+{
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    g_pool = std::make_unique<ThreadPool>(threads);
+}
+
+} // namespace util
+} // namespace dse

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fixed-size worker pool for the library's embarrassingly parallel
+ * loops (batch simulation, per-fold ensemble training, design-space
+ * prediction).
+ *
+ * Design goals, in order:
+ *
+ *  1. **Determinism.** parallelFor(i) writes results into slot i of a
+ *     caller-owned vector; the loop body never shares mutable state
+ *     between iterations, so results are bit-identical at any thread
+ *     count (including 1). The pool only schedules — it never
+ *     reorders observable effects.
+ *  2. **Simplicity over peak throughput.** Work is handed out as
+ *     contiguous index chunks from a single atomic counter
+ *     ("work-stealing-lite"): idle workers grab the next chunk, so
+ *     uneven iteration costs self-balance without per-worker deques.
+ *  3. **Graceful degradation.** With one configured thread, a tiny
+ *     range, or a nested/concurrent call, the loop runs inline on the
+ *     calling thread — same results, no deadlock.
+ *
+ * The worker count comes from DSE_THREADS when set (>0), else
+ * std::thread::hardware_concurrency(). The calling thread always
+ * participates, so a pool of size N spawns N-1 workers.
+ */
+
+#ifndef DSE_UTIL_THREAD_POOL_HH
+#define DSE_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dse {
+namespace util {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total thread count including the caller;
+     *        0 = configuredThreads() (DSE_THREADS or hardware)
+     */
+    explicit ThreadPool(size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total threads that execute a loop (workers + calling thread). */
+    size_t threadCount() const { return workers_.size() + 1; }
+
+    /**
+     * Run fn(i) for every i in [begin, end). Blocks until all
+     * iterations complete; rethrows the first exception any iteration
+     * threw. Iterations must not share mutable state except through
+     * their own synchronization. Nested or concurrent calls fall back
+     * to inline serial execution.
+     */
+    void parallelFor(size_t begin, size_t end,
+                     const std::function<void(size_t)> &fn);
+
+    /** parallelFor producing a result vector: out[i] = fn(i). */
+    template <typename T>
+    std::vector<T>
+    parallelMap(size_t n, const std::function<T(size_t)> &fn)
+    {
+        std::vector<T> out(n);
+        parallelFor(0, n, [&](size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** DSE_THREADS when set (>0), else hardware concurrency (>=1). */
+    static size_t configuredThreads();
+
+    /** The process-wide pool (created on first use). */
+    static ThreadPool &global();
+
+    /**
+     * Replace the global pool with one of the given size (0 = re-read
+     * the environment). Test/bench hook: callers must ensure no
+     * parallel work is in flight.
+     */
+    static void resetGlobal(size_t threads = 0);
+
+  private:
+    void workerLoop();
+    void runChunks(const std::function<void(size_t)> &fn, size_t end,
+                   size_t chunk);
+
+    std::mutex mu_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    /** Serializes submissions; concurrent callers run inline. */
+    std::mutex submitMu_;
+
+    // Current job, written under mu_ before workers are woken.
+    const std::function<void(size_t)> *fn_ = nullptr;
+    std::atomic<size_t> next_{0};
+    size_t end_ = 0;
+    size_t chunk_ = 1;
+    uint64_t generation_ = 0;
+    size_t active_ = 0;
+    bool stop_ = false;
+    std::exception_ptr error_;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace util
+} // namespace dse
+
+#endif // DSE_UTIL_THREAD_POOL_HH

@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "ml/cross_validation.hh"
 #include "sim/cacti.hh"
 #include "study/harness.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 #include "workload/generator.hh"
 
 namespace dse {
@@ -95,6 +98,38 @@ TEST(Fuzz, TrainingOnExtremeTargetRatiosSurvives)
         const auto model = ml::trainEnsemble(data, opts);
         (void)model.predict({0.25, 0.5});
     });
+}
+
+TEST(Fuzz, SimulateBatchRandomSizesAndDuplicates)
+{
+    // Random batch sizes with heavy duplication, fed through the
+    // parallel batch path: no crash, IPC matches the memoized scalar
+    // path, and the cache holds exactly the distinct indices.
+    util::ThreadPool::resetGlobal(4);
+    study::StudyContext ctx(study::StudyKind::MemorySystem, "twolf",
+                            4096);
+    Rng rng(0xabcd);
+    std::unordered_set<uint64_t> unique;
+    for (int round = 0; round < 6; ++round) {
+        const size_t n = 1 + rng.below(30);
+        std::vector<uint64_t> batch;
+        for (size_t i = 0; i < n; ++i) {
+            // Draw from a small window to force duplicates within and
+            // across rounds.
+            batch.push_back(rng.below(200));
+        }
+        const auto ipcs = ctx.simulateBatch(batch);
+        ASSERT_EQ(ipcs.size(), batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+            EXPECT_GT(ipcs[i], 0.0);
+            EXPECT_EQ(ipcs[i], ctx.simulateIpc(batch[i]));
+            unique.insert(batch[i]);
+        }
+        EXPECT_EQ(ctx.simulationsRun(), unique.size());
+    }
+    EXPECT_TRUE(ctx.simulateBatch({}).empty());
+    EXPECT_EQ(ctx.simulationsRun(), unique.size());
+    util::ThreadPool::resetGlobal();
 }
 
 TEST(Fuzz, TinyTracesSimulateOnEveryBenchmark)

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Golden-value regression tests: a handful of (space, app, seed) →
+ * result pins so refactors of the simulator, the training engine, or
+ * the parallel scheduling cannot silently drift the reproduction.
+ * Values were produced by this library at the revision that
+ * introduced the parallel engine; a legitimate modelling change that
+ * moves them must update the pins deliberately.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ml/cross_validation.hh"
+#include "study/harness.hh"
+#include "util/rng.hh"
+
+namespace dse {
+namespace {
+
+TEST(Golden, MemorySystemGzipIpc)
+{
+    study::StudyContext ctx(study::StudyKind::MemorySystem, "gzip",
+                            8192);
+    EXPECT_NEAR(ctx.simulateIpc(100), 0.29359902515948677, 1e-9);
+}
+
+TEST(Golden, MemorySystemMcfIpc)
+{
+    study::StudyContext ctx(study::StudyKind::MemorySystem, "mcf",
+                            8192);
+    EXPECT_NEAR(ctx.simulateIpc(12345), 0.10456315016912375, 1e-9);
+}
+
+TEST(Golden, ProcessorEquakeIpc)
+{
+    study::StudyContext ctx(study::StudyKind::Processor, "equake",
+                            8192);
+    EXPECT_NEAR(ctx.simulateIpc(777), 0.30537538209200032, 1e-9);
+}
+
+TEST(Golden, SmallEnsembleEstimate)
+{
+    // 60 random memory-system points for gzip, 5-fold ensemble with a
+    // reduced budget; pins the cross-validation error estimate (and
+    // with it the per-fold SplitMix64 seed derivation).
+    study::StudyContext ctx(study::StudyKind::MemorySystem, "gzip",
+                            8192);
+    Rng rng(42);
+    const auto indices =
+        rng.sampleWithoutReplacement(ctx.space().size(), 60);
+    const auto ipc = ctx.simulateBatch(indices);
+
+    ml::DataSet data;
+    for (size_t i = 0; i < indices.size(); ++i)
+        data.add(ctx.space().encodeIndex(indices[i]), ipc[i]);
+
+    ml::TrainOptions opts;
+    opts.folds = 5;
+    opts.maxEpochs = 300;
+    opts.esInterval = 25;
+    opts.patience = 5;
+    const auto model = ml::trainEnsemble(data, opts);
+    EXPECT_NEAR(model.estimate().meanPct, 25.809202971370066, 1e-6);
+}
+
+} // namespace
+} // namespace dse
