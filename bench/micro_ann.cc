@@ -8,11 +8,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "ml/ann.hh"
 #include "ml/cross_validation.hh"
+#include "ml/explorer.hh"
 #include "sim/cache.hh"
 #include "sim/cacti.hh"
 #include "sim/core.hh"
+#include "study/spaces.hh"
 #include "util/rng.hh"
 #include "workload/generator.hh"
 
@@ -44,6 +48,62 @@ BM_AnnTrainStep(benchmark::State &state)
     std::vector<double> t{0.7};
     for (auto _ : state)
         benchmark::DoNotOptimize(net.train(x, t));
+}
+
+void
+BM_AnnPredictBatch(benchmark::State &state)
+{
+    // Blocked batched forward over a block's worth of points: the
+    // kernel the full-space sweeps are built from. Compare against
+    // BM_AnnForward x n for the win from streaming each layer's
+    // weights once per block.
+    Rng rng(3);
+    ml::AnnParams p;
+    ml::Ann net(16, 1, p, rng);
+    const size_t n = static_cast<size_t>(state.range(0));
+    std::vector<double> x(n * 16);
+    for (auto &v : x)
+        v = rng.uniform();
+    std::vector<double> y(n);
+    for (auto _ : state) {
+        net.predictBatch(x.data(), n, y.data());
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n));
+}
+
+void
+BM_EnsemblePredictSpace(benchmark::State &state)
+{
+    // Full-space prediction through the real Explorer path over the
+    // Table 4.1 memory-system space (23,040 points): the dominant
+    // modeling cost after training itself (Section 5.4 / Fig 5.8).
+    // The simulator is a cheap analytic stand-in so the bench times
+    // prediction, not simulation; the ensemble is trained once.
+    static const ml::DesignSpace space = study::memorySystemSpace();
+    static ml::Explorer *explorer = [] {
+        auto sim = [](uint64_t idx) {
+            return 0.3 + 0.1 * std::sin(static_cast<double>(idx) * 1e-3) +
+                1e-6 * static_cast<double>(idx % 97);
+        };
+        ml::ExplorerOptions opts;
+        opts.batchSize = 50;
+        opts.train.folds = 5;
+        opts.train.maxEpochs = 60;
+        opts.train.esInterval = 20;
+        opts.train.patience = 3;
+        auto *e = new ml::Explorer(space, sim, opts);
+        e->step();
+        return e;
+    }();
+    for (auto _ : state) {
+        auto preds = explorer->predictSpace();
+        benchmark::DoNotOptimize(preds.data());
+    }
+    state.counters["points_per_sec"] = benchmark::Counter(
+        static_cast<double>(space.size()),
+        benchmark::Counter::kIsIterationInvariantRate);
 }
 
 void
@@ -87,6 +147,8 @@ BM_TraceGeneration(benchmark::State &state)
 
 BENCHMARK(BM_AnnForward)->Arg(16)->Arg(32);
 BENCHMARK(BM_AnnTrainStep)->Arg(16)->Arg(32);
+BENCHMARK(BM_AnnPredictBatch)->Arg(64)->Arg(1024);
+BENCHMARK(BM_EnsemblePredictSpace)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(8);
 BENCHMARK(BM_DetailedSimulation)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);

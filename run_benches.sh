@@ -4,11 +4,23 @@ cd /root/repo
 # all cores unless the caller pinned a thread count.
 export DSE_THREADS="${DSE_THREADS:-$(nproc)}"
 echo "DSE_THREADS=$DSE_THREADS"
+# Google-Benchmark binaries also emit machine-readable JSON next to
+# this script (BENCH_<name>.json) so perf changes can be diffed against
+# the committed baselines (e.g. BENCH_ann.json for micro_ann).
+GBENCH_BINARIES="micro_ann fig_5_8_training_times"
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo "===================================================================="
     echo "== $b"
     echo "===================================================================="
-    timeout 3000 "$b" 2>/dev/null
+    name=$(basename "$b")
+    extra=()
+    case " $GBENCH_BINARIES " in
+      *" $name "*)
+        out="BENCH_${name#micro_}.json"
+        extra=("--benchmark_out=$out" "--benchmark_out_format=json")
+        ;;
+    esac
+    timeout 3000 "$b" "${extra[@]}" 2>/dev/null
     echo
 done

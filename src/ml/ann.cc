@@ -1,18 +1,423 @@
 #include "ml/ann.hh"
 
+#include <algorithm>
 #include <cassert>
-#include <cmath>
 #include <stdexcept>
+
+// Hot kernels are compiled once per ISA level with runtime ifunc
+// dispatch where the toolchain supports it. The variants stay
+// bit-identical because the build forbids FP contraction
+// (-ffp-contract=off, see the top-level CMakeLists) and every kernel
+// fixes its accumulation order explicitly. Sanitized builds keep the
+// plain kernels: ifunc resolvers run before the tsan/asan runtime is
+// initialized and crash at load.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#  define DSE_NO_TARGET_CLONES 1
+#elif defined(__has_feature)
+#  if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#    define DSE_NO_TARGET_CLONES 1
+#  endif
+#endif
+#if defined(__x86_64__) && defined(__has_attribute) && \
+    !defined(DSE_NO_TARGET_CLONES)
+#  if __has_attribute(target_clones)
+#    define DSE_TARGET_CLONES \
+        __attribute__((target_clones("default", "avx2", "avx512f")))
+#  endif
+#endif
+#ifndef DSE_TARGET_CLONES
+#  define DSE_TARGET_CLONES
+#endif
 
 namespace dse {
 namespace ml {
 
 namespace {
 
-double
-sigmoid(double x)
+/**
+ * Canonical dot product: four independent accumulation lanes, element
+ * i always into lane i % 4, lanes combined pairwise at the end, bias
+ * (when present) added last. Every forward kernel — scalar,
+ * unit-vectorized, and batched — applies this exact discipline per
+ * (point, unit), which is what makes them bit-for-bit interchangeable;
+ * the four lanes also map directly onto SIMD registers.
+ */
+inline double
+dot4(const double *a, const double *b, int n)
 {
-    return 1.0 / (1.0 + std::exp(-x));
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    int i = 0;
+    if (n >= 4) {
+        s0 = a[0] * b[0];
+        s1 = a[1] * b[1];
+        s2 = a[2] * b[2];
+        s3 = a[3] * b[3];
+        for (i = 4; i + 4 <= n; i += 4) {
+            s0 += a[i] * b[i];
+            s1 += a[i + 1] * b[i + 1];
+            s2 += a[i + 2] * b[i + 2];
+            s3 += a[i + 3] * b[i + 3];
+        }
+    }
+    for (; i < n; ++i) {
+        const double p = a[i] * b[i];
+        switch (i & 3) {
+          case 0: s0 += p; break;
+          case 1: s1 += p; break;
+          case 2: s2 += p; break;
+          default: s3 += p; break;
+        }
+    }
+    return (s0 + s1) + (s2 + s3);
+}
+
+/** dot4 with both operands strided (one unit column x one block column). */
+inline double
+dot4Strided(const double *a, size_t astride, const double *x,
+            size_t xstride, int n)
+{
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    int i = 0;
+    if (n >= 4) {
+        s0 = a[0] * x[0];
+        s1 = a[astride] * x[xstride];
+        s2 = a[2 * astride] * x[2 * xstride];
+        s3 = a[3 * astride] * x[3 * xstride];
+        for (i = 4; i + 4 <= n; i += 4) {
+            s0 += a[static_cast<size_t>(i) * astride] *
+                x[static_cast<size_t>(i) * xstride];
+            s1 += a[static_cast<size_t>(i + 1) * astride] *
+                x[static_cast<size_t>(i + 1) * xstride];
+            s2 += a[static_cast<size_t>(i + 2) * astride] *
+                x[static_cast<size_t>(i + 2) * xstride];
+            s3 += a[static_cast<size_t>(i + 3) * astride] *
+                x[static_cast<size_t>(i + 3) * xstride];
+        }
+    }
+    for (; i < n; ++i) {
+        const double p = a[static_cast<size_t>(i) * astride] *
+            x[static_cast<size_t>(i) * xstride];
+        switch (i & 3) {
+          case 0: s0 += p; break;
+          case 1: s1 += p; break;
+          case 2: s2 += p; break;
+          default: s3 += p; break;
+        }
+    }
+    return (s0 + s1) + (s2 + s3);
+}
+
+DSE_TARGET_CLONES void
+sigmoidInPlace(double *__restrict v, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        v[i] = stableSigmoid(v[i]);
+}
+
+/**
+ * Single-unit layer forward: exactly dot4 plus the trailing bias,
+ * through the shared sigmoid. Deliberately NOT ISA-cloned — the plain
+ * loop both inlines into its caller and vectorizes well, while ifunc
+ * dispatch plus the cloned vectorizer's choices on a lone reduction
+ * cost several times the kernel itself at this size.
+ */
+inline double
+layerForwardOne(const double *__restrict w, int in,
+                const double *__restrict x)
+{
+    return stableSigmoid(dot4(w, x, in) + w[in]);
+}
+
+/**
+ * Body of the multi-unit single-point forward pass: y = sigmoid(W x +
+ * b), with @p w input-major [(in + 1) x out], bias row last. The
+ * accumulation runs vectorized ACROSS UNITS — four accumulator rows of
+ * `out` each, lane i % 4 taking input i — so the value computed for
+ * every unit is exactly dot4's. @p acc is 4 * out scratch.
+ *
+ * Always-inlined into ISA-cloned wrappers so each clone vectorizes
+ * the body for its own instruction set; the wrappers for the common
+ * fixed widths pass stack lane rows (which the compiler keeps in
+ * registers across the input strips) and a compile-time width.
+ */
+__attribute__((always_inline)) inline void
+layerForwardWideBody(const double *__restrict w, int in, int out,
+                     const double *__restrict x, double *__restrict y,
+                     double *__restrict a0, double *__restrict a1,
+                     double *__restrict a2, double *__restrict a3)
+{
+    const size_t o = static_cast<size_t>(out);
+    int i = 0;
+    if (in >= 4) {
+        for (int j = 0; j < out; ++j) {
+            a0[j] = x[0] * w[j];
+            a1[j] = x[1] * w[o + j];
+            a2[j] = x[2] * w[2 * o + j];
+            a3[j] = x[3] * w[3 * o + j];
+        }
+        for (i = 4; i + 4 <= in; i += 4) {
+            const double *r = w + static_cast<size_t>(i) * o;
+            for (int j = 0; j < out; ++j) {
+                a0[j] += x[i] * r[j];
+                a1[j] += x[i + 1] * r[o + j];
+                a2[j] += x[i + 2] * r[2 * o + j];
+                a3[j] += x[i + 3] * r[3 * o + j];
+            }
+        }
+    } else {
+        for (int j = 0; j < out; ++j) {
+            a0[j] = 0.0;
+            a1[j] = 0.0;
+            a2[j] = 0.0;
+            a3[j] = 0.0;
+        }
+    }
+    for (; i < in; ++i) {
+        double *a = (i & 3) == 0 ? a0
+            : (i & 3) == 1 ? a1 : (i & 3) == 2 ? a2 : a3;
+        const double *r = w + static_cast<size_t>(i) * o;
+        for (int j = 0; j < out; ++j)
+            a[j] += x[i] * r[j];
+    }
+    const double *bias = w + static_cast<size_t>(in) * o;
+    for (int j = 0; j < out; ++j)
+        y[j] = stableSigmoid(((a0[j] + a1[j]) + (a2[j] + a3[j])) +
+                             bias[j]);
+}
+
+DSE_TARGET_CLONES void
+layerForwardWide(const double *__restrict w, int in, int out,
+                 const double *__restrict x, double *__restrict y,
+                 double *__restrict acc)
+{
+    layerForwardWideBody(w, in, out, x, y, acc, acc + out,
+                         acc + 2 * static_cast<size_t>(out),
+                         acc + 3 * static_cast<size_t>(out));
+}
+
+/** Fixed-width clone: the paper's default hidden width. */
+DSE_TARGET_CLONES void
+layerForwardWide16(const double *__restrict w, int in,
+                   const double *__restrict x, double *__restrict y)
+{
+    double a0[16], a1[16], a2[16], a3[16];
+    layerForwardWideBody(w, in, 16, x, y, a0, a1, a2, a3);
+}
+
+/** Fixed-width clone: the benchmarked double-width variant. */
+DSE_TARGET_CLONES void
+layerForwardWide32(const double *__restrict w, int in,
+                   const double *__restrict x, double *__restrict y)
+{
+    double a0[32], a1[32], a2[32], a3[32];
+    layerForwardWideBody(w, in, 32, x, y, a0, a1, a2, a3);
+}
+
+/**
+ * One layer of the single-point forward pass, dispatched by width.
+ * All the targets follow the same per-(point, unit) lane discipline,
+ * so which one runs is invisible in the results.
+ */
+inline void
+layerForwardScalar(const double *__restrict w, int in, int out,
+                   const double *__restrict x, double *__restrict y,
+                   double *__restrict acc)
+{
+    if (out == 1)
+        y[0] = layerForwardOne(w, in, x);
+    else if (out == 16)
+        layerForwardWide16(w, in, x, y);
+    else if (out == 32)
+        layerForwardWide32(w, in, x, y);
+    else
+        layerForwardWide(w, in, out, x, y, acc);
+}
+
+/**
+ * One layer of the batched forward pass on a transposed block: xT is
+ * [in][nb], yT is [out][nb]. Each unit's weight column is read once
+ * for the whole block; points advance in register sub-blocks of kW
+ * with the four dot4 lanes held entirely in registers. Per point, the
+ * arithmetic is exactly dot4's.
+ */
+DSE_TARGET_CLONES void
+layerForwardBatch(const double *__restrict w, int in, int out,
+                  const double *__restrict xT, size_t nb,
+                  double *__restrict yT)
+{
+    constexpr size_t kW = 8;
+    const size_t o = static_cast<size_t>(out);
+    const double *biasRow = w + static_cast<size_t>(in) * o;
+    for (int j = 0; j < out; ++j) {
+        const double *wj = w + j;  // unit j's weight column, stride o
+        const double bias = biasRow[j];
+        double *y = yT + static_cast<size_t>(j) * nb;
+        size_t b = 0;
+        for (; b + kW <= nb; b += kW) {
+            const double *xb = xT + b;
+            double s0[kW], s1[kW], s2[kW], s3[kW];
+            int i = 0;
+            if (in >= 4) {
+                const double w0 = wj[0];
+                const double w1 = wj[o];
+                const double w2 = wj[2 * o];
+                const double w3 = wj[3 * o];
+                for (size_t v = 0; v < kW; ++v) {
+                    s0[v] = w0 * xb[v];
+                    s1[v] = w1 * xb[nb + v];
+                    s2[v] = w2 * xb[2 * nb + v];
+                    s3[v] = w3 * xb[3 * nb + v];
+                }
+                for (i = 4; i + 4 <= in; i += 4) {
+                    const double *wi = wj + static_cast<size_t>(i) * o;
+                    const double u0 = wi[0];
+                    const double u1 = wi[o];
+                    const double u2 = wi[2 * o];
+                    const double u3 = wi[3 * o];
+                    const double *xi = xb + static_cast<size_t>(i) * nb;
+                    for (size_t v = 0; v < kW; ++v) {
+                        s0[v] += u0 * xi[v];
+                        s1[v] += u1 * xi[nb + v];
+                        s2[v] += u2 * xi[2 * nb + v];
+                        s3[v] += u3 * xi[3 * nb + v];
+                    }
+                }
+            } else {
+                for (size_t v = 0; v < kW; ++v) {
+                    s0[v] = 0.0;
+                    s1[v] = 0.0;
+                    s2[v] = 0.0;
+                    s3[v] = 0.0;
+                }
+            }
+            for (; i < in; ++i) {
+                double *s = (i & 3) == 0 ? s0
+                    : (i & 3) == 1 ? s1 : (i & 3) == 2 ? s2 : s3;
+                const double wv = wj[static_cast<size_t>(i) * o];
+                const double *xi = xb + static_cast<size_t>(i) * nb;
+                for (size_t v = 0; v < kW; ++v)
+                    s[v] += wv * xi[v];
+            }
+            for (size_t v = 0; v < kW; ++v)
+                y[b + v] = ((s0[v] + s1[v]) + (s2[v] + s3[v])) + bias;
+        }
+        for (; b < nb; ++b)
+            y[b] = dot4Strided(wj, o, xT + b, nb, in) + bias;
+    }
+    sigmoidInPlace(yT, o * nb);
+}
+
+/**
+ * Hidden-layer deltas: d[i] = (sum_j w[i][j] dnext[j]) o_i (1 - o_i),
+ * reading the next layer's input-major weight rows unit-stride.
+ * Deliberately NOT ISA-cloned: the dominant shape is out == 1 (one
+ * delta chain per output unit), where the plain scalar loop both
+ * inlines and vectorizes over i, while the cloned vectorizer
+ * pessimizes the tiny inner reduction badly (measured ~7x).
+ */
+inline void
+backpropDeltas(const double *__restrict w, int in, int out,
+               const double *__restrict act,
+               const double *__restrict dnext, double *__restrict d)
+{
+    if (out == 1) {
+        const double dn0 = dnext[0];
+        for (int i = 0; i < in; ++i) {
+            const double oi = act[i];
+            d[i] = (w[i] * dn0) * oi * (1.0 - oi);
+        }
+        return;
+    }
+    for (int i = 0; i < in; ++i) {
+        const double sum =
+            dot4(w + static_cast<size_t>(i) * out, dnext, out);
+        const double oi = act[i];
+        d[i] = sum * oi * (1.0 - oi);
+    }
+}
+
+/**
+ * Momentum weight update (Equation 3.2) for a single-output layer,
+ * whose weight column is contiguous: one unit-stride pass over
+ * [in + 1] weights. Plain for the same reason as layerForwardOne.
+ */
+inline void
+updateLayerOne(double *__restrict w, double *__restrict dw, int in,
+               const double *__restrict x, double d0, double eta,
+               double alpha)
+{
+    const double g0 = eta * d0;
+    for (int i = 0; i < in; ++i) {
+        const double update = g0 * x[i] + alpha * dw[i];
+        w[i] += update;
+        dw[i] = update;
+    }
+    const double update = g0 + alpha * dw[in];
+    w[in] += update;
+    dw[in] = update;
+}
+
+/**
+ * Momentum weight update (Equation 3.2) for a multi-unit layer. In
+ * the input-major layout this is a single unit-stride pass over the
+ * whole [(in + 1) x out] arena slab: input i's row of per-unit
+ * updates is g[j] * x[i] + alpha * dw, with g[j] = eta * d[j]
+ * precomputed into @p g (out scratch doubles). Same per-weight
+ * arithmetic and order as the classical per-unit loop.
+ */
+DSE_TARGET_CLONES void
+updateLayer(double *__restrict w, double *__restrict dw, int in, int out,
+            const double *__restrict x, const double *__restrict d,
+            double eta, double alpha, double *__restrict g)
+{
+    const size_t o = static_cast<size_t>(out);
+    for (int j = 0; j < out; ++j)
+        g[j] = eta * d[j];
+    for (int i = 0; i < in; ++i) {
+        double *wr = w + static_cast<size_t>(i) * o;
+        double *dwr = dw + static_cast<size_t>(i) * o;
+        const double xi = x[i];
+        for (int j = 0; j < out; ++j) {
+            const double update = g[j] * xi + alpha * dwr[j];
+            wr[j] += update;
+            dwr[j] = update;
+        }
+    }
+    double *wb = w + static_cast<size_t>(in) * o;
+    double *dwb = dw + static_cast<size_t>(in) * o;
+    for (int j = 0; j < out; ++j) {
+        const double update = g[j] + alpha * dwb[j];
+        wb[j] += update;
+        dwb[j] = update;
+    }
+}
+
+/**
+ * Per-thread scratch for the layer kernels (activation ping-pong and
+ * cross-unit accumulators). Grow-only, so prediction does no heap
+ * work after the first call on each thread.
+ */
+double *
+kernelScratch(size_t n)
+{
+    thread_local std::vector<double> buf;
+    if (buf.size() < n)
+        buf.resize(n);
+    return buf.data();
+}
+
+/**
+ * Per-thread scratch for block transposes and outputs — distinct from
+ * kernelScratch so predictBatch can hold a block while predictBlockT
+ * sizes its own buffers.
+ */
+double *
+ioScratch(size_t n)
+{
+    thread_local std::vector<double> buf;
+    if (buf.size() < n)
+        buf.resize(n);
+    return buf.data();
 }
 
 } // namespace
@@ -25,183 +430,219 @@ Ann::Ann(int inputs, int outputs, const AnnParams &params, Rng &rng)
     if (params.hiddenLayers < 1 || params.hiddenUnits < 1)
         throw std::invalid_argument("network needs a hidden layer");
 
+    size_t wOff = 0;
+    size_t actOff = 0;
+    auto addLayer = [&](int in, int out) {
+        Layer layer;
+        layer.in = in;
+        layer.out = out;
+        layer.w = wOff;
+        layer.act = actOff;
+        wOff += static_cast<size_t>(in + 1) * out;
+        actOff += static_cast<size_t>(out);
+        maxWidth_ = std::max(maxWidth_, out);
+        layers_.push_back(layer);
+    };
     int prev = inputs;
     for (int l = 0; l < params.hiddenLayers; ++l) {
-        Layer layer;
-        layer.in = prev;
-        layer.out = params.hiddenUnits;
-        layer.w.resize(static_cast<size_t>(layer.in + 1) * layer.out);
-        layer.dwPrev.assign(layer.w.size(), 0.0);
-        for (auto &w : layer.w)
-            w = rng.uniform(-params.initWeightRange, params.initWeightRange);
-        layers_.push_back(std::move(layer));
+        addLayer(prev, params.hiddenUnits);
         prev = params.hiddenUnits;
     }
-    Layer out;
-    out.in = prev;
-    out.out = outputs;
-    out.w.resize(static_cast<size_t>(out.in + 1) * out.out);
-    out.dwPrev.assign(out.w.size(), 0.0);
-    for (auto &w : out.w)
-        w = rng.uniform(-params.initWeightRange, params.initWeightRange);
-    layers_.push_back(std::move(out));
+    addLayer(prev, outputs);
 
-    act_.resize(layers_.size() + 1);
-    act_[0].resize(static_cast<size_t>(inputs));
-    delta_.resize(layers_.size());
-    for (size_t l = 0; l < layers_.size(); ++l) {
-        act_[l + 1].resize(static_cast<size_t>(layers_[l].out));
-        delta_[l].resize(static_cast<size_t>(layers_[l].out));
+    w_.resize(wOff);
+    dwPrev_.assign(wOff, 0.0);
+    act_.assign(actOff, 0.0);
+    delta_.assign(actOff, 0.0);
+    // Draw in the historical per-unit order (unit-major, bias last per
+    // unit) and scatter into the input-major arena, so a given seed
+    // yields the same initial weight at every logical position.
+    for (const Layer &layer : layers_) {
+        double *w = w_.data() + layer.w;
+        const size_t o = static_cast<size_t>(layer.out);
+        for (int j = 0; j < layer.out; ++j)
+            for (int i = 0; i <= layer.in; ++i)
+                w[static_cast<size_t>(i) * o + static_cast<size_t>(j)] =
+                    rng.uniform(-params.initWeightRange,
+                                params.initWeightRange);
     }
 }
 
 void
-Ann::forwardInto(const std::vector<double> &input,
-                 std::vector<std::vector<double>> &act) const
+Ann::predictBlockT(const double *xT, size_t nb, double *yT) const
 {
-    assert(static_cast<int>(input.size()) == inputs_);
-    act.resize(layers_.size() + 1);
-    act[0] = input;
+    assert(nb >= 1 && nb <= kBlock);
+    const size_t width = static_cast<size_t>(maxWidth_);
+    if (nb == 1) {
+        // Single point: the unit-vectorized scalar kernel, which
+        // follows the same per-(point, unit) lane discipline as the
+        // batch kernel, so the result matches the batched path bit
+        // for bit.
+        double *buf = kernelScratch(6 * width);
+        double *a0 = buf;
+        double *a1 = buf + width;
+        double *acc = buf + 2 * width;
+        const double *cur = xT;
+        for (size_t l = 0; l < layers_.size(); ++l) {
+            const Layer &layer = layers_[l];
+            double *dst = l + 1 == layers_.size() ? yT
+                : (l % 2 == 0 ? a0 : a1);
+            layerForwardScalar(w_.data() + layer.w, layer.in, layer.out,
+                               cur, dst, acc);
+            cur = dst;
+        }
+        return;
+    }
+    double *buf = kernelScratch(2 * width * kBlock);
+    double *a0 = buf;
+    double *a1 = buf + width * kBlock;
+    const double *cur = xT;
     for (size_t l = 0; l < layers_.size(); ++l) {
         const Layer &layer = layers_[l];
-        const std::vector<double> &in = act[l];
-        std::vector<double> &out = act[l + 1];
-        out.resize(static_cast<size_t>(layer.out));
-        for (int j = 0; j < layer.out; ++j) {
-            const double *w = &layer.w[static_cast<size_t>(j) *
-                                       (layer.in + 1)];
-            double net = w[layer.in];  // bias
-            for (int i = 0; i < layer.in; ++i)
-                net += w[i] * in[i];
-            out[static_cast<size_t>(j)] = sigmoid(net);
-        }
+        double *dst = l + 1 == layers_.size() ? yT
+            : (l % 2 == 0 ? a0 : a1);
+        layerForwardBatch(w_.data() + layer.w, layer.in, layer.out,
+                          cur, nb, dst);
+        cur = dst;
     }
 }
 
 void
-Ann::forward(const std::vector<double> &input) const
+Ann::predictBatch(const double *x, size_t n, double *y) const
 {
-    forwardInto(input, act_);
+    const size_t in = static_cast<size_t>(inputs_);
+    const size_t out = static_cast<size_t>(outputs_);
+    double *buf = ioScratch((in + out) * kBlock);
+    double *xT = buf;
+    double *yT = buf + in * kBlock;
+    for (size_t at = 0; at < n; at += kBlock) {
+        const size_t nb = std::min(kBlock, n - at);
+        const double *xb = x + at * in;
+        for (size_t i = 0; i < in; ++i)
+            for (size_t b = 0; b < nb; ++b)
+                xT[i * nb + b] = xb[b * in + i];
+        predictBlockT(xT, nb, yT);
+        double *yb = y + at * out;
+        for (size_t b = 0; b < nb; ++b)
+            for (size_t o = 0; o < out; ++o)
+                yb[b * out + o] = yT[o * nb + b];
+    }
 }
-
-namespace {
-
-/** Per-thread activation scratch for concurrent const predictions. */
-std::vector<std::vector<double>> &
-predictScratch()
-{
-    thread_local std::vector<std::vector<double>> act;
-    return act;
-}
-
-} // namespace
 
 std::vector<double>
 Ann::predict(const std::vector<double> &input) const
 {
-    auto &act = predictScratch();
-    forwardInto(input, act);
-    return act.back();
+    assert(static_cast<int>(input.size()) == inputs_);
+    // A feature vector is its own one-column transpose, so the input
+    // is read in place — no copy, and the only allocation is the
+    // returned vector itself.
+    std::vector<double> out(static_cast<size_t>(outputs_));
+    predictBlockT(input.data(), 1, out.data());
+    return out;
 }
 
 double
 Ann::predictScalar(const std::vector<double> &input) const
 {
-    auto &act = predictScratch();
-    forwardInto(input, act);
-    return act.back()[0];
+    assert(static_cast<int>(input.size()) == inputs_);
+    double *yT = ioScratch(static_cast<size_t>(outputs_));
+    predictBlockT(input.data(), 1, yT);
+    return yT[0];
 }
 
 double
 Ann::train(const std::vector<double> &input,
            const std::vector<double> &target)
 {
+    assert(static_cast<int>(input.size()) == inputs_);
     assert(static_cast<int>(target.size()) == outputs_);
-    forward(input);
+    const double *x = input.data();
+
+    // Forward, into the member activation arena (train() owns it;
+    // const predictions use per-thread scratch instead).
+    double *acc = kernelScratch(4 * static_cast<size_t>(maxWidth_));
+    const double *cur = x;
+    for (size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        layerForwardScalar(w_.data() + layer.w, layer.in, layer.out,
+                           cur, act_.data() + layer.act, acc);
+        cur = act_.data() + layer.act;
+    }
 
     // Output deltas: (t - o) * o * (1 - o) for sigmoid outputs.
     double sq_error = 0.0;
     {
-        const std::vector<double> &o = act_.back();
-        std::vector<double> &d = delta_.back();
+        const Layer &layer = layers_.back();
+        const double *o = act_.data() + layer.act;
+        double *d = delta_.data() + layer.act;
         for (int j = 0; j < outputs_; ++j) {
-            const double oj = o[static_cast<size_t>(j)];
+            const double oj = o[j];
             const double err = target[static_cast<size_t>(j)] - oj;
             sq_error += err * err;
-            d[static_cast<size_t>(j)] = err * oj * (1.0 - oj);
+            d[j] = err * oj * (1.0 - oj);
         }
     }
 
-    // Hidden deltas, back to front.
+    // Hidden deltas, back to front, reading each next layer's
+    // input-major weight rows unit-stride.
     for (size_t l = layers_.size() - 1; l-- > 0;) {
         const Layer &next = layers_[l + 1];
-        const std::vector<double> &o = act_[l + 1];
-        const std::vector<double> &dn = delta_[l + 1];
-        std::vector<double> &d = delta_[l];
-        for (int i = 0; i < next.in; ++i) {
-            double sum = 0.0;
-            for (int j = 0; j < next.out; ++j)
-                sum += next.w[static_cast<size_t>(j) * (next.in + 1) + i] *
-                    dn[static_cast<size_t>(j)];
-            const double oi = o[static_cast<size_t>(i)];
-            d[static_cast<size_t>(i)] = sum * oi * (1.0 - oi);
-        }
+        backpropDeltas(w_.data() + next.w, next.in, next.out,
+                       act_.data() + layers_[l].act,
+                       delta_.data() + next.act,
+                       delta_.data() + layers_[l].act);
     }
 
-    // Weight updates with momentum (Equation 3.2).
+    // Weight updates with momentum (Equation 3.2); the forward pass
+    // is done with acc, so it doubles as the g = eta * d scratch.
     const double eta = params_.learningRate;
     const double alpha = params_.momentum;
     for (size_t l = 0; l < layers_.size(); ++l) {
-        Layer &layer = layers_[l];
-        const std::vector<double> &in = act_[l];
-        const std::vector<double> &d = delta_[l];
-        for (int j = 0; j < layer.out; ++j) {
-            double *w = &layer.w[static_cast<size_t>(j) * (layer.in + 1)];
-            double *dw = &layer.dwPrev[static_cast<size_t>(j) *
-                                       (layer.in + 1)];
-            const double dj = d[static_cast<size_t>(j)];
-            for (int i = 0; i < layer.in; ++i) {
-                const double update = eta * dj * in[i] + alpha * dw[i];
-                w[i] += update;
-                dw[i] = update;
-            }
-            const double update = eta * dj + alpha * dw[layer.in];
-            w[layer.in] += update;
-            dw[layer.in] = update;
+        const Layer &layer = layers_[l];
+        const double *in_act =
+            l == 0 ? x : act_.data() + layers_[l - 1].act;
+        if (layer.out == 1) {
+            updateLayerOne(w_.data() + layer.w, dwPrev_.data() + layer.w,
+                           layer.in, in_act, delta_[layer.act], eta,
+                           alpha);
+        } else {
+            updateLayer(w_.data() + layer.w, dwPrev_.data() + layer.w,
+                        layer.in, layer.out, in_act,
+                        delta_.data() + layer.act, eta, alpha, acc);
         }
     }
     return sq_error;
 }
 
-size_t
-Ann::weightCount() const
-{
-    size_t n = 0;
-    for (const auto &layer : layers_)
-        n += layer.w.size();
-    return n;
-}
-
 std::vector<double>
 Ann::weights() const
 {
-    std::vector<double> all;
-    for (const auto &layer : layers_)
-        all.insert(all.end(), layer.w.begin(), layer.w.end());
-    return all;
+    std::vector<double> flat;
+    flat.reserve(w_.size());
+    for (const Layer &layer : layers_) {
+        const double *w = w_.data() + layer.w;
+        const size_t o = static_cast<size_t>(layer.out);
+        for (int j = 0; j < layer.out; ++j)
+            for (int i = 0; i <= layer.in; ++i)
+                flat.push_back(w[static_cast<size_t>(i) * o +
+                                 static_cast<size_t>(j)]);
+    }
+    return flat;
 }
 
 void
 Ann::setWeights(const std::vector<double> &flat)
 {
-    if (flat.size() != weightCount())
+    if (flat.size() != w_.size())
         throw std::invalid_argument("weight vector size mismatch");
-    size_t at = 0;
-    for (auto &layer : layers_) {
-        std::copy(flat.begin() + static_cast<ptrdiff_t>(at),
-                  flat.begin() + static_cast<ptrdiff_t>(at + layer.w.size()),
-                  layer.w.begin());
-        at += layer.w.size();
+    const double *src = flat.data();
+    for (const Layer &layer : layers_) {
+        double *w = w_.data() + layer.w;
+        const size_t o = static_cast<size_t>(layer.out);
+        for (int j = 0; j < layer.out; ++j)
+            for (int i = 0; i <= layer.in; ++i)
+                w[static_cast<size_t>(i) * o + static_cast<size_t>(j)] =
+                    *src++;
     }
 }
 

@@ -9,12 +9,27 @@
  * the encoding layer, and the output unit is sigmoid as well. One or
  * more output units are supported (multiple outputs implement the
  * multi-task learning extension of Chapter 7).
+ *
+ * Numeric core (see DESIGN.md, "Numeric kernels"): all weights live in
+ * one flat contiguous arena per network, layer after layer, each layer
+ * stored input-major [(in+1) x out] — row i holds every unit's weight
+ * for input i, with the bias row last. That transposed-by-default
+ * layout is what the hot loops want: the scalar forward and the
+ * momentum update vectorize across units at unit stride, and delta
+ * backprop reads unit-stride rows. weights()/setWeights() convert to
+ * and from the historical unit-major flat order, so serialization and
+ * checkpoint formats are unchanged. Prediction also has a blocked
+ * batched path (predictBatch / predictBlockT) that streams each
+ * layer's weights once per block of up to kBlock design points and is
+ * bit-for-bit identical to the single-point path.
  */
 
 #ifndef DSE_ML_ANN_HH
 #define DSE_ML_ANN_HH
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/rng.hh"
@@ -48,6 +63,65 @@ struct AnnParams
 };
 
 /**
+ * Numerically stable sigmoid, 1 / (1 + e^-x), evaluated via a
+ * range-reduced polynomial so the whole kernel autovectorizes (no
+ * libm call in the hot loop) and never overflows: |x| is clamped at
+ * 708 before exponentiation, which is value-preserving — the exact
+ * result already saturates to 0/1 (to the last ulp of a double)
+ * far inside that bound. Relative error vs. the libm form is below
+ * 1e-15 across the whole clamped range (tests/test_ann.cc sweeps it).
+ *
+ * This is the single activation definition used by the scalar,
+ * batched, and training kernels, which is what makes batched and
+ * single-point prediction bit-for-bit identical.
+ */
+inline double
+stableSigmoid(double x)
+{
+    double a = x < 0.0 ? -x : x;
+    if (a > 708.0)
+        a = 708.0;
+    // e^{-a} = 2^n * e^r with n = round(-a * log2 e), |r| <= ln2 / 2.
+    // The 1.5*2^52 shift trick rounds to nearest without a libm call,
+    // and n is recovered from the shifted double's low mantissa bits.
+    const double y = -a;
+    constexpr double kLog2e = 1.4426950408889634074;
+    constexpr double kLn2Hi = 6.93147180369123816490e-01;
+    constexpr double kLn2Lo = 1.90821492927058770002e-10;
+    constexpr double kShift = 6755399441055744.0;  // 1.5 * 2^52
+    const double kd = y * kLog2e + kShift;
+    const double n = kd - kShift;
+    double r = y - n * kLn2Hi;
+    r = r - n * kLn2Lo;
+    const int64_t ki = std::bit_cast<int64_t>(kd) -
+        std::bit_cast<int64_t>(kShift);
+    const double scale =
+        std::bit_cast<double>(static_cast<uint64_t>(ki + 1023) << 52);
+    // e^r as a degree-12 Taylor polynomial: remainder < 7e-15 rel.
+    // Estrin's scheme, not Horner's: the evaluation tree is ~4 levels
+    // deep instead of a 12-step serial chain, and the output unit's
+    // sigmoid sits on the training step's critical path.
+    const double r2 = r * r;
+    const double r4 = r2 * r2;
+    const double r8 = r4 * r4;
+    const double q0 = 1.0 + r * 1.0;
+    const double q1 = 0.5 + r * 1.6666666666666666e-01;
+    const double q2 = 4.1666666666666664e-02 + r * 8.3333333333333332e-03;
+    const double q3 = 1.3888888888888889e-03 + r * 1.9841269841269841e-04;
+    const double q4 = 2.4801587301587302e-05 + r * 2.7557319223985893e-06;
+    const double q5 = 2.7557319223985888e-07 + r * 2.5052108385441720e-08;
+    const double q6 = 2.0876756987868100e-09;
+    const double t0 = q0 + r2 * q1;
+    const double t1 = q2 + r2 * q3;
+    const double t2 = q4 + r2 * q5;
+    const double u0 = t0 + r4 * t1;
+    const double u1 = t2 + r4 * q6;
+    const double p = u0 + r8 * u1;
+    const double t = p * scale;  // e^{-|x|}, in (0, 1]
+    return x >= 0.0 ? 1.0 / (1.0 + t) : t / (1.0 + t);
+}
+
+/**
  * A feed-forward network with sigmoid activations throughout.
  *
  * The network owns its weights; training is incremental (per-example
@@ -59,6 +133,14 @@ struct AnnParams
 class Ann
 {
   public:
+    /**
+     * Points per internal block of the batched-prediction path: each
+     * layer's weights are streamed once per block and reused for all
+     * points in it, keeping weights and the block's activations
+     * L1-resident.
+     */
+    static constexpr size_t kBlock = 64;
+
     /**
      * @param inputs width of the input layer
      * @param outputs width of the output layer
@@ -75,8 +157,30 @@ class Ann
      */
     std::vector<double> predict(const std::vector<double> &input) const;
 
-    /** Convenience for single-output networks (also thread-safe). */
+    /**
+     * Convenience for single-output networks (also thread-safe; for
+     * multi-output networks returns the first output). Performs no
+     * heap allocation after per-thread scratch warm-up.
+     */
     double predictScalar(const std::vector<double> &input) const;
+
+    /**
+     * Batched forward pass over n points. @p x is row-major
+     * [n x inputs()], @p y is row-major [n x outputs()]. Processes the
+     * points in blocks of kBlock; per point, bit-for-bit identical to
+     * predict(). Thread-safe on a const network.
+     */
+    void predictBatch(const double *x, size_t n, double *y) const;
+
+    /**
+     * Low-level batched forward pass on one pre-transposed block:
+     * @p xT is [inputs()][nb] (coordinate-major), @p yT is
+     * [outputs()][nb]; nb must be in [1, kBlock]. Lets ensemble-level
+     * callers transpose a block once and reuse it across member
+     * networks. For nb == 1 this reads the input in place (a plain
+     * feature vector is its own 1-column transpose).
+     */
+    void predictBlockT(const double *xT, size_t nb, double *yT) const;
 
     /**
      * One stochastic gradient-descent step on a single example
@@ -91,9 +195,14 @@ class Ann
     int outputs() const { return outputs_; }
 
     /** Total number of trainable weights (including biases). */
-    size_t weightCount() const;
+    size_t weightCount() const { return w_.size(); }
 
-    /** Flat copy of all weights (testing/inspection/checkpointing). */
+    /**
+     * Flat copy of all weights (testing/inspection/checkpointing):
+     * layer after layer, each layer unit-major [out x (in+1)] with
+     * the bias last in every row — the order this library has always
+     * serialized, converted from the internal input-major arena.
+     */
     std::vector<double> weights() const;
 
     /** Restore weights from a flat copy (early-stopping rollback). */
@@ -106,25 +215,30 @@ class Ann
     const AnnParams &params() const { return params_; }
 
   private:
+    /** Per-layer extents and offsets into the flat arenas. */
     struct Layer
     {
         int in = 0;
         int out = 0;
-        std::vector<double> w;       ///< (in + 1) * out, bias last
-        std::vector<double> dwPrev;  ///< previous update (momentum)
+        size_t w = 0;    ///< offset into w_/dwPrev_: [(in + 1) x out]
+        size_t act = 0;  ///< offset into act_/delta_: [out]
     };
-
-    void forward(const std::vector<double> &input) const;
-    void forwardInto(const std::vector<double> &input,
-                     std::vector<std::vector<double>> &act) const;
 
     int inputs_;
     int outputs_;
     AnnParams params_;
     std::vector<Layer> layers_;
-    // Scratch activations, reused across calls to avoid allocation.
-    mutable std::vector<std::vector<double>> act_;
-    mutable std::vector<std::vector<double>> delta_;
+    int maxWidth_ = 0;  ///< max layer output width
+    /**
+     * Weight arena, input-major per layer: element [i * out + j] is
+     * unit j's weight for input i; row `in` (last) is the biases.
+     */
+    std::vector<double> w_;
+    std::vector<double> dwPrev_;  ///< previous updates, same layout
+    // Scratch activations/deltas owned by train(); const prediction
+    // paths use per-thread scratch instead.
+    mutable std::vector<double> act_;
+    mutable std::vector<double> delta_;
 };
 
 } // namespace ml

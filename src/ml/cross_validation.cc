@@ -48,17 +48,35 @@ double
 evalError(const Ann &net, const DataSet &data, const TargetScaler &scaler,
           const std::vector<size_t> &rows, bool percentage)
 {
+    if (rows.empty())
+        return 0.0;
+    // Evaluate through the batched path (bit-identical to per-row
+    // predictScalar, but streams each layer's weights once per
+    // block); the error sum stays in row order.
+    const size_t n = rows.size();
+    const size_t in = static_cast<size_t>(net.inputs());
+    const size_t outs = static_cast<size_t>(net.outputs());
+    thread_local std::vector<double> xbuf;
+    thread_local std::vector<double> ybuf;
+    if (xbuf.size() < n * in)
+        xbuf.resize(n * in);
+    if (ybuf.size() < n * outs)
+        ybuf.resize(n * outs);
+    for (size_t r = 0; r < n; ++r)
+        std::copy(data.x[rows[r]].begin(), data.x[rows[r]].end(),
+                  xbuf.begin() + static_cast<ptrdiff_t>(r * in));
+    net.predictBatch(xbuf.data(), n, ybuf.data());
     double sum = 0.0;
-    for (size_t row : rows) {
-        const double pred = scaler.decode(net.predictScalar(data.x[row]));
+    for (size_t r = 0; r < n; ++r) {
+        const double pred = scaler.decode(ybuf[r * outs]);
         if (percentage) {
-            sum += percentageError(pred, data.y[row]);
+            sum += percentageError(pred, data.y[rows[r]]);
         } else {
-            const double d = pred - data.y[row];
+            const double d = pred - data.y[rows[r]];
             sum += d * d;
         }
     }
-    return rows.empty() ? 0.0 : sum / static_cast<double>(rows.size());
+    return sum / static_cast<double>(n);
 }
 
 } // namespace
@@ -78,6 +96,75 @@ Ensemble::predict(const std::vector<double> &features) const
     for (const auto &net : nets_)
         sum += net.predictScalar(features);
     return scaler_.decode(sum / static_cast<double>(nets_.size()));
+}
+
+void
+Ensemble::predictBatch(const double *x, size_t n, double *out) const
+{
+    const size_t in = static_cast<size_t>(nets_.front().inputs());
+    const size_t outs = static_cast<size_t>(nets_.front().outputs());
+    constexpr size_t B = Ann::kBlock;
+    // xT + member-output block + ensemble accumulator, per thread.
+    thread_local std::vector<double> scratch;
+    const size_t need = (in + outs + 1) * B;
+    if (scratch.size() < need)
+        scratch.resize(need);
+    double *xT = scratch.data();
+    double *tmp = xT + in * B;
+    double *acc = tmp + outs * B;
+    for (size_t at = 0; at < n; at += B) {
+        const size_t nb = std::min(B, n - at);
+        const double *xb = x + at * in;
+        for (size_t i = 0; i < in; ++i)
+            for (size_t b = 0; b < nb; ++b)
+                xT[i * nb + b] = xb[b * in + i];
+        std::fill(acc, acc + nb, 0.0);
+        // Member order matches predict()'s summation order, so the
+        // accumulated sum is bit-identical.
+        for (const auto &net : nets_) {
+            net.predictBlockT(xT, nb, tmp);
+            for (size_t b = 0; b < nb; ++b)
+                acc[b] += tmp[b];
+        }
+        for (size_t b = 0; b < nb; ++b)
+            out[at + b] =
+                scaler_.decode(acc[b] / static_cast<double>(nets_.size()));
+    }
+}
+
+std::vector<double>
+Ensemble::predictIndices(const DesignSpace &space,
+                         const std::vector<uint64_t> &indices) const
+{
+    const size_t n = indices.size();
+    std::vector<double> out(n);
+    const size_t width = static_cast<size_t>(space.encodedWidth());
+    // A few kBlock blocks per pool task; the chunk partition is fixed
+    // (independent of thread count), so every floating-point
+    // operation — and thus the result — is too.
+    constexpr size_t kChunk = 4 * Ann::kBlock;
+    const size_t chunks = (n + kChunk - 1) / kChunk;
+    util::ThreadPool::global().parallelFor(0, chunks, [&](size_t c) {
+        const size_t lo = c * kChunk;
+        const size_t m = std::min(kChunk, n - lo);
+        thread_local std::vector<double> xbuf;
+        if (xbuf.size() < kChunk * width)
+            xbuf.resize(kChunk * width);
+        // Full-space sweeps hand us consecutive indices; encode those
+        // odometer-style (bit-identical, no per-point divisions).
+        bool consecutive = true;
+        for (size_t r = 1; r < m && consecutive; ++r)
+            consecutive = indices[lo + r] == indices[lo] + r;
+        if (consecutive) {
+            space.encodeRangeInto(indices[lo], m, xbuf.data());
+        } else {
+            for (size_t r = 0; r < m; ++r)
+                space.encodeIndexInto(indices[lo + r],
+                                      xbuf.data() + r * width);
+        }
+        predictBatch(xbuf.data(), m, out.data() + lo);
+    });
+    return out;
 }
 
 double

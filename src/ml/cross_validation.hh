@@ -93,6 +93,26 @@ class Ensemble
     /** Ensemble prediction: average of member predictions, decoded. */
     double predict(const std::vector<double> &features) const;
 
+    /**
+     * Batched ensemble prediction: @p x is row-major [n x inputs],
+     * @p out receives the n decoded predictions. Each block of
+     * Ann::kBlock points is transposed once and reused across all
+     * members; per point, bit-for-bit identical to predict().
+     * Thread-safe on a const ensemble.
+     */
+    void predictBatch(const double *x, size_t n, double *out) const;
+
+    /**
+     * Predict a set of design points addressed by flat index,
+     * encoding and evaluating block-wise in parallel on the global
+     * ThreadPool. The block partition is fixed (independent of
+     * DSE_THREADS), so results are bit-identical at any thread count
+     * and to a predict() loop over the same indices.
+     */
+    std::vector<double> predictIndices(
+        const DesignSpace &space,
+        const std::vector<uint64_t> &indices) const;
+
     /** Prediction of a single member (ablation/diagnostics). */
     double predictMember(size_t i,
                          const std::vector<double> &features) const;

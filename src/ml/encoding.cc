@@ -17,6 +17,7 @@ DesignSpace::addCardinal(const std::string &name, std::vector<double> values)
     p.kind = ParamKind::Cardinal;
     p.values = std::move(values);
     params_.push_back(std::move(p));
+    rebuildCache();
 }
 
 void
@@ -38,6 +39,7 @@ DesignSpace::addNominal(const std::string &name,
     p.kind = ParamKind::Nominal;
     p.labels = std::move(labels);
     params_.push_back(std::move(p));
+    rebuildCache();
 }
 
 void
@@ -48,6 +50,29 @@ DesignSpace::addBoolean(const std::string &name)
     p.kind = ParamKind::Boolean;
     p.values = {0.0, 1.0};
     params_.push_back(std::move(p));
+    rebuildCache();
+}
+
+void
+DesignSpace::rebuildCache()
+{
+    const size_t n = params_.size();
+    minRaw_.assign(n, 0.0);
+    span_.assign(n, 0.0);
+    stride_.assign(n, 1);
+    size_ = 1;
+    for (size_t i = n; i-- > 0;) {
+        stride_[i] = size_;
+        size_ *= static_cast<uint64_t>(params_[i].numLevels());
+        const ParamDesc &p = params_[i];
+        if (p.kind == ParamKind::Cardinal ||
+            p.kind == ParamKind::Continuous) {
+            const auto [mn, mx] = std::minmax_element(
+                p.values.begin(), p.values.end());
+            minRaw_[i] = *mn;
+            span_[i] = *mx - *mn;
+        }
+    }
 }
 
 size_t
@@ -63,10 +88,7 @@ DesignSpace::paramIndex(const std::string &name) const
 uint64_t
 DesignSpace::size() const
 {
-    uint64_t n = 1;
-    for (const auto &p : params_)
-        n *= static_cast<uint64_t>(p.numLevels());
-    return n;
+    return size_;
 }
 
 int
@@ -118,40 +140,107 @@ DesignSpace::validateLevels(const std::vector<int> &levels) const
     }
 }
 
-std::vector<double>
-DesignSpace::encode(const std::vector<int> &levels) const
+void
+DesignSpace::encodeLevelsInto(const int *levels, double *out) const
 {
-    validateLevels(levels);
-    std::vector<double> x;
-    x.reserve(static_cast<size_t>(encodedWidth()));
     for (size_t i = 0; i < params_.size(); ++i) {
         const ParamDesc &p = params_[i];
         switch (p.kind) {
           case ParamKind::Nominal:
             for (int l = 0; l < p.numLevels(); ++l)
-                x.push_back(l == levels[i] ? 1.0 : 0.0);
+                *out++ = l == levels[i] ? 1.0 : 0.0;
             break;
           case ParamKind::Boolean:
-            x.push_back(p.values[static_cast<size_t>(levels[i])]);
+            *out++ = p.values[static_cast<size_t>(levels[i])];
             break;
           case ParamKind::Cardinal:
           case ParamKind::Continuous: {
-            const auto [mn, mx] = std::minmax_element(
-                p.values.begin(), p.values.end());
-            const double span = *mx - *mn;
+            const double span = span_[i];
             const double v = p.values[static_cast<size_t>(levels[i])];
-            x.push_back(span > 0.0 ? (v - *mn) / span : 0.5);
+            *out++ = span > 0.0 ? (v - minRaw_[i]) / span : 0.5;
             break;
           }
         }
     }
+}
+
+std::vector<double>
+DesignSpace::encode(const std::vector<int> &levels) const
+{
+    validateLevels(levels);
+    std::vector<double> x(static_cast<size_t>(encodedWidth()));
+    encodeLevelsInto(levels.data(), x.data());
     return x;
 }
 
 std::vector<double>
 DesignSpace::encodeIndex(uint64_t index) const
 {
-    return encode(levels(index));
+    std::vector<double> x(static_cast<size_t>(encodedWidth()));
+    encodeIndexInto(index, x.data());
+    return x;
+}
+
+namespace {
+
+/** Per-thread level scratch for the allocation-free encode paths. */
+int *
+levelScratch(size_t n)
+{
+    thread_local std::vector<int> buf;
+    if (buf.size() < n)
+        buf.resize(n);
+    return buf.data();
+}
+
+} // namespace
+
+void
+DesignSpace::encodeIndexInto(uint64_t index, double *out) const
+{
+    if (index >= size_)
+        throw std::out_of_range("design-point index out of range");
+    int *levels = levelScratch(params_.size());
+    // Mixed radix, last parameter fastest.
+    for (size_t i = params_.size(); i-- > 0;) {
+        const uint64_t radix =
+            static_cast<uint64_t>(params_[i].numLevels());
+        levels[i] = static_cast<int>(index % radix);
+        index /= radix;
+    }
+    encodeLevelsInto(levels, out);
+}
+
+void
+DesignSpace::encodeRangeInto(uint64_t first, size_t count,
+                             double *out) const
+{
+    if (count == 0)
+        return;
+    if (first >= size_ || count > size_ - first)
+        throw std::out_of_range("design-point range out of range");
+    const size_t np = params_.size();
+    int *levels = levelScratch(np);
+    uint64_t index = first;
+    for (size_t i = np; i-- > 0;) {
+        const uint64_t radix =
+            static_cast<uint64_t>(params_[i].numLevels());
+        levels[i] = static_cast<int>(index % radix);
+        index /= radix;
+    }
+    const size_t width = static_cast<size_t>(encodedWidth());
+    for (size_t r = 0;;) {
+        encodeLevelsInto(levels, out + r * width);
+        if (++r == count)
+            break;
+        // Odometer step: increment the fastest (last) parameter,
+        // carrying into slower ones.
+        for (size_t i = np; i-- > 0;) {
+            if (++levels[i] < params_[i].numLevels())
+                break;
+            levels[i] = 0;
+        }
+    }
 }
 
 double

@@ -103,6 +103,25 @@ class DesignSpace
     /** Encode a flat index directly. */
     std::vector<double> encodeIndex(uint64_t index) const;
 
+    /**
+     * Encode a flat index into a caller-provided buffer of
+     * encodedWidth() doubles, with no heap allocation — the form the
+     * batched prediction paths use. Bit-identical to encodeIndex()
+     * (same normalization arithmetic, from bounds cached at
+     * construction).
+     */
+    void encodeIndexInto(uint64_t index, double *out) const;
+
+    /**
+     * Encode `count` consecutive indices [first, first + count) into
+     * @p out (row-major [count x encodedWidth()]). The per-parameter
+     * levels advance odometer-style, avoiding encodeIndexInto's
+     * per-point divisions; each row is bit-identical to
+     * encodeIndexInto on the same index. This is the fast path for
+     * full-space prediction.
+     */
+    void encodeRangeInto(uint64_t first, size_t count, double *out) const;
+
     /** Numeric value of parameter `p` at level `l` (non-nominal). */
     double value(size_t p, int l) const;
 
@@ -120,7 +139,21 @@ class DesignSpace
   private:
     void validateLevels(const std::vector<int> &levels) const;
 
+    /** Encode an (already validated) level vector into out. */
+    void encodeLevelsInto(const int *levels, double *out) const;
+
+    /** Refresh the per-parameter encode cache after adding a param. */
+    void rebuildCache();
+
     std::vector<ParamDesc> params_;
+    // Per-parameter normalization bounds and mixed-radix strides,
+    // cached at construction so encodeIndexInto() is allocation-free
+    // (minRaw/span mirror the minmax encode() historically recomputed
+    // per call — same values, same arithmetic).
+    std::vector<double> minRaw_;
+    std::vector<double> span_;
+    std::vector<uint64_t> stride_;
+    uint64_t size_ = 1;
 };
 
 /**

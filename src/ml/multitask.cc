@@ -24,14 +24,20 @@ MultiTaskEnsemble::MultiTaskEnsemble(std::vector<Ann> nets,
 std::vector<double>
 MultiTaskEnsemble::predictAll(const std::vector<double> &x) const
 {
-    std::vector<double> sum(scalers_.size(), 0.0);
+    // Per-member outputs land in per-thread scratch; the only
+    // allocation is the returned vector.
+    const size_t outs = scalers_.size();
+    thread_local std::vector<double> tmp;
+    if (tmp.size() < outs)
+        tmp.resize(outs);
+    std::vector<double> sum(outs, 0.0);
     for (const auto &net : nets_) {
-        const auto out = net.predict(x);
-        for (size_t t = 0; t < sum.size(); ++t)
-            sum[t] += out[t];
+        net.predictBlockT(x.data(), 1, tmp.data());
+        for (size_t t = 0; t < outs; ++t)
+            sum[t] += tmp[t];
     }
-    std::vector<double> decoded(scalers_.size());
-    for (size_t t = 0; t < sum.size(); ++t) {
+    std::vector<double> decoded(outs);
+    for (size_t t = 0; t < outs; ++t) {
         decoded[t] = scalers_[t].decode(
             sum[t] / static_cast<double>(nets_.size()));
     }
@@ -103,15 +109,30 @@ trainMultiTaskEnsemble(const MultiTaskDataSet &data,
 
         Ann net(inputs, outputs, opts.ann, rng);
 
+        // Row pack/prediction buffers for primary_error, reused
+        // across early-stopping evaluations.
+        std::vector<double> exbuf;
+        std::vector<double> eybuf;
         auto primary_error = [&](const std::vector<size_t> &rows) {
+            if (rows.empty())
+                return 0.0;
+            const size_t n = rows.size();
+            const size_t in = static_cast<size_t>(inputs);
+            const size_t no = static_cast<size_t>(outputs);
+            if (exbuf.size() < n * in)
+                exbuf.resize(n * in);
+            if (eybuf.size() < n * no)
+                eybuf.resize(n * no);
+            for (size_t r = 0; r < n; ++r)
+                std::copy(data.x[rows[r]].begin(), data.x[rows[r]].end(),
+                          exbuf.begin() + static_cast<ptrdiff_t>(r * in));
+            net.predictBatch(exbuf.data(), n, eybuf.data());
             double sum = 0.0;
-            for (size_t row : rows) {
-                const double pred =
-                    scalers[0].decode(net.predict(data.x[row])[0]);
-                sum += percentageError(pred, data.y[row][0]);
+            for (size_t r = 0; r < n; ++r) {
+                const double pred = scalers[0].decode(eybuf[r * no]);
+                sum += percentageError(pred, data.y[rows[r]][0]);
             }
-            return rows.empty() ? 0.0
-                : sum / static_cast<double>(rows.size());
+            return sum / static_cast<double>(n);
         };
 
         double best_es = std::numeric_limits<double>::infinity();

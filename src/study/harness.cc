@@ -219,17 +219,14 @@ TrueError
 measureTrueError(StudyContext &ctx, const ml::Ensemble &model,
                  const std::vector<uint64_t> &eval_points)
 {
-    // Simulate the holdout concurrently, then score each point into
-    // its own slot; the reduction runs over a fixed order, so the
-    // result is independent of thread count.
+    // Simulate the holdout concurrently, predict it through the
+    // batched ensemble path (itself parallel and thread-count
+    // invariant), then score over a fixed order.
     const auto actual = ctx.simulateBatch(eval_points);
+    const auto predicted = model.predictIndices(ctx.space(), eval_points);
     std::vector<double> errors(eval_points.size());
-    util::ThreadPool::global().parallelFor(
-        0, eval_points.size(), [&](size_t i) {
-            const double predicted =
-                model.predict(ctx.space().encodeIndex(eval_points[i]));
-            errors[i] = percentageError(predicted, actual[i]);
-        });
+    for (size_t i = 0; i < eval_points.size(); ++i)
+        errors[i] = percentageError(predicted[i], actual[i]);
     TrueError out;
     out.meanPct = mean(errors);
     out.sdPct = stddev(errors);

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "ml/ann.hh"
@@ -225,6 +227,50 @@ TEST(Ann, DeterministicGivenSeed)
         return net.predictScalar({0.3, 0.6});
     };
     EXPECT_DOUBLE_EQ(build(), build());
+}
+
+TEST(StableSigmoid, MatchesLibmAcrossClampedRange)
+{
+    // The polynomial sigmoid is the single activation definition for
+    // every kernel; it must track the libm form to ~1 ulp wherever
+    // the libm form is representable.
+    double worst = 0.0;
+    for (int i = 0; i <= 200000; ++i) {
+        const double x = -708.0 + i * (1416.0 / 200000.0);
+        const double ref = 1.0 / (1.0 + std::exp(-x));
+        const double got = stableSigmoid(x);
+        worst = std::max(worst, std::abs(got - ref) / ref);
+    }
+    EXPECT_LE(worst, 1e-13);
+}
+
+TEST(StableSigmoid, ExtremeInputsSaturateWithoutOverflow)
+{
+    EXPECT_DOUBLE_EQ(stableSigmoid(0.0), 0.5);
+    // Already saturated to the last ulp well inside the clamp.
+    EXPECT_DOUBLE_EQ(stableSigmoid(40.0),
+                     1.0 / (1.0 + std::exp(-40.0)));
+    EXPECT_NEAR(stableSigmoid(-40.0), std::exp(-40.0), 1e-30);
+    for (double x : {708.0, 1e9, 1e308,
+                     std::numeric_limits<double>::max()}) {
+        EXPECT_EQ(stableSigmoid(x), 1.0) << "x=" << x;
+        const double lo = stableSigmoid(-x);
+        EXPECT_TRUE(std::isfinite(lo)) << "x=" << -x;
+        EXPECT_GT(lo, 0.0) << "x=" << -x;
+        EXPECT_LT(lo, 1e-300) << "x=" << -x;
+    }
+}
+
+TEST(StableSigmoid, MonotoneThroughTheClamp)
+{
+    // No spurious step where the |x| <= 708 clamp engages.
+    double prev = 0.0;
+    for (int i = 0; i <= 4000; ++i) {
+        const double x = -720.0 + i * (1440.0 / 4000.0);
+        const double s = stableSigmoid(x);
+        EXPECT_GE(s, prev) << "x=" << x;
+        prev = s;
+    }
 }
 
 TEST(Ann, MomentumAcceleratesConvergence)
