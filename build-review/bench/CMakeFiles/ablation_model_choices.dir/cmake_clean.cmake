@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_choices.dir/ablation_model_choices.cc.o"
+  "CMakeFiles/ablation_model_choices.dir/ablation_model_choices.cc.o.d"
+  "ablation_model_choices"
+  "ablation_model_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_a.dir/appendix_a.cc.o"
+  "CMakeFiles/appendix_a.dir/appendix_a.cc.o.d"
+  "appendix_a"
+  "appendix_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

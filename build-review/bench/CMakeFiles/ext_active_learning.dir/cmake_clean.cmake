@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_active_learning.dir/ext_active_learning.cc.o"
+  "CMakeFiles/ext_active_learning.dir/ext_active_learning.cc.o.d"
+  "ext_active_learning"
+  "ext_active_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_active_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_crossapp.dir/ext_crossapp.cc.o"
+  "CMakeFiles/ext_crossapp.dir/ext_crossapp.cc.o.d"
+  "ext_crossapp"
+  "ext_crossapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_crossapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_5_1_learning_curves.
+# This may be replaced when dependencies are built.

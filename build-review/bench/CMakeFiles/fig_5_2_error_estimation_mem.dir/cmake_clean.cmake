@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_2_error_estimation_mem.dir/fig_5_2_error_estimation_mem.cc.o"
+  "CMakeFiles/fig_5_2_error_estimation_mem.dir/fig_5_2_error_estimation_mem.cc.o.d"
+  "fig_5_2_error_estimation_mem"
+  "fig_5_2_error_estimation_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_2_error_estimation_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

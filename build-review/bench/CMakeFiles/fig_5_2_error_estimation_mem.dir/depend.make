@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_5_2_error_estimation_mem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_3_error_estimation_proc.dir/fig_5_3_error_estimation_proc.cc.o"
+  "CMakeFiles/fig_5_3_error_estimation_proc.dir/fig_5_3_error_estimation_proc.cc.o.d"
+  "fig_5_3_error_estimation_proc"
+  "fig_5_3_error_estimation_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_3_error_estimation_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

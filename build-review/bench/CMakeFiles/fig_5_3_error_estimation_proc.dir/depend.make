@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_5_3_error_estimation_proc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig_5_4_simpoint_curves.cc" "bench/CMakeFiles/fig_5_4_simpoint_curves.dir/fig_5_4_simpoint_curves.cc.o" "gcc" "bench/CMakeFiles/fig_5_4_simpoint_curves.dir/fig_5_4_simpoint_curves.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/study/CMakeFiles/dse_study.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/simpoint/CMakeFiles/dse_simpoint.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/doe/CMakeFiles/dse_doe.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ml/CMakeFiles/dse_ml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/dse_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/dse_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/dse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_4_simpoint_curves.dir/fig_5_4_simpoint_curves.cc.o"
+  "CMakeFiles/fig_5_4_simpoint_curves.dir/fig_5_4_simpoint_curves.cc.o.d"
+  "fig_5_4_simpoint_curves"
+  "fig_5_4_simpoint_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_4_simpoint_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

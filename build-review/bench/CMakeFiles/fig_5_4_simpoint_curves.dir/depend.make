@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_5_4_simpoint_curves.
+# This may be replaced when dependencies are built.

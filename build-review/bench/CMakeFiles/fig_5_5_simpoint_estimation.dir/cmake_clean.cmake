@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_5_simpoint_estimation.dir/fig_5_5_simpoint_estimation.cc.o"
+  "CMakeFiles/fig_5_5_simpoint_estimation.dir/fig_5_5_simpoint_estimation.cc.o.d"
+  "fig_5_5_simpoint_estimation"
+  "fig_5_5_simpoint_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_5_simpoint_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_5_5_simpoint_estimation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_5_5_simpoint_estimation.
+# This may be replaced when dependencies are built.

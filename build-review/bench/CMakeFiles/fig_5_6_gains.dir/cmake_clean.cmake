@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_6_gains.dir/fig_5_6_gains.cc.o"
+  "CMakeFiles/fig_5_6_gains.dir/fig_5_6_gains.cc.o.d"
+  "fig_5_6_gains"
+  "fig_5_6_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_6_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

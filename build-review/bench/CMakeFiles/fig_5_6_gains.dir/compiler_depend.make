@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_5_6_gains.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_7_gain_breakdown.dir/fig_5_7_gain_breakdown.cc.o"
+  "CMakeFiles/fig_5_7_gain_breakdown.dir/fig_5_7_gain_breakdown.cc.o.d"
+  "fig_5_7_gain_breakdown"
+  "fig_5_7_gain_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_7_gain_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

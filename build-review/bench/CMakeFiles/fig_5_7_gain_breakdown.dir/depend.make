@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_5_7_gain_breakdown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_5_8_training_times.dir/fig_5_8_training_times.cc.o"
+  "CMakeFiles/fig_5_8_training_times.dir/fig_5_8_training_times.cc.o.d"
+  "fig_5_8_training_times"
+  "fig_5_8_training_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_8_training_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_5_8_training_times.
+# This may be replaced when dependencies are built.

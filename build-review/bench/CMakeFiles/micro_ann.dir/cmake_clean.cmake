@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ann.dir/micro_ann.cc.o"
+  "CMakeFiles/micro_ann.dir/micro_ann.cc.o.d"
+  "micro_ann"
+  "micro_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

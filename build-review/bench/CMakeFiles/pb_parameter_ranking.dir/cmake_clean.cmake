@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_parameter_ranking.dir/pb_parameter_ranking.cc.o"
+  "CMakeFiles/pb_parameter_ranking.dir/pb_parameter_ranking.cc.o.d"
+  "pb_parameter_ranking"
+  "pb_parameter_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_parameter_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

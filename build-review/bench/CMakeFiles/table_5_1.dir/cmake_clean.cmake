@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_5_1.dir/table_5_1.cc.o"
+  "CMakeFiles/table_5_1.dir/table_5_1.cc.o.d"
+  "table_5_1"
+  "table_5_1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_5_1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_learning.dir/active_learning.cpp.o"
+  "CMakeFiles/active_learning.dir/active_learning.cpp.o.d"
+  "active_learning"
+  "active_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_system_study.dir/memory_system_study.cpp.o"
+  "CMakeFiles/memory_system_study.dir/memory_system_study.cpp.o.d"
+  "memory_system_study"
+  "memory_system_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_system_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitask_study.dir/multitask_study.cpp.o"
+  "CMakeFiles/multitask_study.dir/multitask_study.cpp.o.d"
+  "multitask_study"
+  "multitask_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitask_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

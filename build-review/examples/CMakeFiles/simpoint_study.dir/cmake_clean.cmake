@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simpoint_study.dir/simpoint_study.cpp.o"
+  "CMakeFiles/simpoint_study.dir/simpoint_study.cpp.o.d"
+  "simpoint_study"
+  "simpoint_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simpoint_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

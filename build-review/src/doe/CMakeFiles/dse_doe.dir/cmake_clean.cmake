@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_doe.dir/plackett_burman.cc.o"
+  "CMakeFiles/dse_doe.dir/plackett_burman.cc.o.d"
+  "libdse_doe.a"
+  "libdse_doe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_doe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

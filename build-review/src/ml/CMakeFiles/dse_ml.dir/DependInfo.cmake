@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/ann.cc" "src/ml/CMakeFiles/dse_ml.dir/ann.cc.o" "gcc" "src/ml/CMakeFiles/dse_ml.dir/ann.cc.o.d"
+  "/root/repo/src/ml/cross_validation.cc" "src/ml/CMakeFiles/dse_ml.dir/cross_validation.cc.o" "gcc" "src/ml/CMakeFiles/dse_ml.dir/cross_validation.cc.o.d"
+  "/root/repo/src/ml/crossapp.cc" "src/ml/CMakeFiles/dse_ml.dir/crossapp.cc.o" "gcc" "src/ml/CMakeFiles/dse_ml.dir/crossapp.cc.o.d"
+  "/root/repo/src/ml/encoding.cc" "src/ml/CMakeFiles/dse_ml.dir/encoding.cc.o" "gcc" "src/ml/CMakeFiles/dse_ml.dir/encoding.cc.o.d"
+  "/root/repo/src/ml/explorer.cc" "src/ml/CMakeFiles/dse_ml.dir/explorer.cc.o" "gcc" "src/ml/CMakeFiles/dse_ml.dir/explorer.cc.o.d"
+  "/root/repo/src/ml/io.cc" "src/ml/CMakeFiles/dse_ml.dir/io.cc.o" "gcc" "src/ml/CMakeFiles/dse_ml.dir/io.cc.o.d"
+  "/root/repo/src/ml/multitask.cc" "src/ml/CMakeFiles/dse_ml.dir/multitask.cc.o" "gcc" "src/ml/CMakeFiles/dse_ml.dir/multitask.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/dse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

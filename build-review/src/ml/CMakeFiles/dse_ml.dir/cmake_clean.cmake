@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_ml.dir/ann.cc.o"
+  "CMakeFiles/dse_ml.dir/ann.cc.o.d"
+  "CMakeFiles/dse_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/dse_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/dse_ml.dir/crossapp.cc.o"
+  "CMakeFiles/dse_ml.dir/crossapp.cc.o.d"
+  "CMakeFiles/dse_ml.dir/encoding.cc.o"
+  "CMakeFiles/dse_ml.dir/encoding.cc.o.d"
+  "CMakeFiles/dse_ml.dir/explorer.cc.o"
+  "CMakeFiles/dse_ml.dir/explorer.cc.o.d"
+  "CMakeFiles/dse_ml.dir/io.cc.o"
+  "CMakeFiles/dse_ml.dir/io.cc.o.d"
+  "CMakeFiles/dse_ml.dir/multitask.cc.o"
+  "CMakeFiles/dse_ml.dir/multitask.cc.o.d"
+  "libdse_ml.a"
+  "libdse_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdse_ml.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/branch.cc" "src/sim/CMakeFiles/dse_sim.dir/branch.cc.o" "gcc" "src/sim/CMakeFiles/dse_sim.dir/branch.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/dse_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/dse_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/cacti.cc" "src/sim/CMakeFiles/dse_sim.dir/cacti.cc.o" "gcc" "src/sim/CMakeFiles/dse_sim.dir/cacti.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/sim/CMakeFiles/dse_sim.dir/core.cc.o" "gcc" "src/sim/CMakeFiles/dse_sim.dir/core.cc.o.d"
+  "/root/repo/src/sim/energy.cc" "src/sim/CMakeFiles/dse_sim.dir/energy.cc.o" "gcc" "src/sim/CMakeFiles/dse_sim.dir/energy.cc.o.d"
+  "/root/repo/src/sim/memsys.cc" "src/sim/CMakeFiles/dse_sim.dir/memsys.cc.o" "gcc" "src/sim/CMakeFiles/dse_sim.dir/memsys.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/dse_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/dse_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_sim.dir/branch.cc.o"
+  "CMakeFiles/dse_sim.dir/branch.cc.o.d"
+  "CMakeFiles/dse_sim.dir/cache.cc.o"
+  "CMakeFiles/dse_sim.dir/cache.cc.o.d"
+  "CMakeFiles/dse_sim.dir/cacti.cc.o"
+  "CMakeFiles/dse_sim.dir/cacti.cc.o.d"
+  "CMakeFiles/dse_sim.dir/core.cc.o"
+  "CMakeFiles/dse_sim.dir/core.cc.o.d"
+  "CMakeFiles/dse_sim.dir/energy.cc.o"
+  "CMakeFiles/dse_sim.dir/energy.cc.o.d"
+  "CMakeFiles/dse_sim.dir/memsys.cc.o"
+  "CMakeFiles/dse_sim.dir/memsys.cc.o.d"
+  "libdse_sim.a"
+  "libdse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simpoint/bbv.cc" "src/simpoint/CMakeFiles/dse_simpoint.dir/bbv.cc.o" "gcc" "src/simpoint/CMakeFiles/dse_simpoint.dir/bbv.cc.o.d"
+  "/root/repo/src/simpoint/kmeans.cc" "src/simpoint/CMakeFiles/dse_simpoint.dir/kmeans.cc.o" "gcc" "src/simpoint/CMakeFiles/dse_simpoint.dir/kmeans.cc.o.d"
+  "/root/repo/src/simpoint/simpoint.cc" "src/simpoint/CMakeFiles/dse_simpoint.dir/simpoint.cc.o" "gcc" "src/simpoint/CMakeFiles/dse_simpoint.dir/simpoint.cc.o.d"
+  "/root/repo/src/simpoint/smarts.cc" "src/simpoint/CMakeFiles/dse_simpoint.dir/smarts.cc.o" "gcc" "src/simpoint/CMakeFiles/dse_simpoint.dir/smarts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/dse_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/dse_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/dse_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

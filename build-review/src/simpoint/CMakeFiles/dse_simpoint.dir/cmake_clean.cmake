@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_simpoint.dir/bbv.cc.o"
+  "CMakeFiles/dse_simpoint.dir/bbv.cc.o.d"
+  "CMakeFiles/dse_simpoint.dir/kmeans.cc.o"
+  "CMakeFiles/dse_simpoint.dir/kmeans.cc.o.d"
+  "CMakeFiles/dse_simpoint.dir/simpoint.cc.o"
+  "CMakeFiles/dse_simpoint.dir/simpoint.cc.o.d"
+  "CMakeFiles/dse_simpoint.dir/smarts.cc.o"
+  "CMakeFiles/dse_simpoint.dir/smarts.cc.o.d"
+  "libdse_simpoint.a"
+  "libdse_simpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_simpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

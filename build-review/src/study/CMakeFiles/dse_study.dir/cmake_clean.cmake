@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_study.dir/harness.cc.o"
+  "CMakeFiles/dse_study.dir/harness.cc.o.d"
+  "CMakeFiles/dse_study.dir/spaces.cc.o"
+  "CMakeFiles/dse_study.dir/spaces.cc.o.d"
+  "libdse_study.a"
+  "libdse_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

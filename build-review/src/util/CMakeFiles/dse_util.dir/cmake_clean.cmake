@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_util.dir/env.cc.o"
+  "CMakeFiles/dse_util.dir/env.cc.o.d"
+  "CMakeFiles/dse_util.dir/rng.cc.o"
+  "CMakeFiles/dse_util.dir/rng.cc.o.d"
+  "CMakeFiles/dse_util.dir/stats.cc.o"
+  "CMakeFiles/dse_util.dir/stats.cc.o.d"
+  "CMakeFiles/dse_util.dir/table.cc.o"
+  "CMakeFiles/dse_util.dir/table.cc.o.d"
+  "CMakeFiles/dse_util.dir/thread_pool.cc.o"
+  "CMakeFiles/dse_util.dir/thread_pool.cc.o.d"
+  "libdse_util.a"
+  "libdse_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

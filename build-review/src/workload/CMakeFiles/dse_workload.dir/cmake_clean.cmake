@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_workload.dir/generator.cc.o"
+  "CMakeFiles/dse_workload.dir/generator.cc.o.d"
+  "CMakeFiles/dse_workload.dir/profile.cc.o"
+  "CMakeFiles/dse_workload.dir/profile.cc.o.d"
+  "libdse_workload.a"
+  "libdse_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ann.cc" "tests/CMakeFiles/dse_tests.dir/test_ann.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_ann.cc.o.d"
+  "/root/repo/tests/test_ann_parity.cc" "tests/CMakeFiles/dse_tests.dir/test_ann_parity.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_ann_parity.cc.o.d"
+  "/root/repo/tests/test_branch.cc" "tests/CMakeFiles/dse_tests.dir/test_branch.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_branch.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/dse_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/dse_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_core_micro.cc" "tests/CMakeFiles/dse_tests.dir/test_core_micro.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_core_micro.cc.o.d"
+  "/root/repo/tests/test_cross_validation.cc" "tests/CMakeFiles/dse_tests.dir/test_cross_validation.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_cross_validation.cc.o.d"
+  "/root/repo/tests/test_doe.cc" "tests/CMakeFiles/dse_tests.dir/test_doe.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_doe.cc.o.d"
+  "/root/repo/tests/test_encoding.cc" "tests/CMakeFiles/dse_tests.dir/test_encoding.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_encoding.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/dse_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_explorer.cc" "tests/CMakeFiles/dse_tests.dir/test_explorer.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_explorer.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/dse_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/dse_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_golden.cc" "tests/CMakeFiles/dse_tests.dir/test_golden.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_golden.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/dse_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_memsys.cc" "tests/CMakeFiles/dse_tests.dir/test_memsys.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_memsys.cc.o.d"
+  "/root/repo/tests/test_multitask.cc" "tests/CMakeFiles/dse_tests.dir/test_multitask.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_multitask.cc.o.d"
+  "/root/repo/tests/test_parallel.cc" "tests/CMakeFiles/dse_tests.dir/test_parallel.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_parallel.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/dse_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_sim_properties.cc" "tests/CMakeFiles/dse_tests.dir/test_sim_properties.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_sim_properties.cc.o.d"
+  "/root/repo/tests/test_simpoint.cc" "tests/CMakeFiles/dse_tests.dir/test_simpoint.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_simpoint.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/dse_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_study.cc" "tests/CMakeFiles/dse_tests.dir/test_study.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_study.cc.o.d"
+  "/root/repo/tests/test_table_env.cc" "tests/CMakeFiles/dse_tests.dir/test_table_env.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_table_env.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/dse_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/dse_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/study/CMakeFiles/dse_study.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/simpoint/CMakeFiles/dse_simpoint.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/doe/CMakeFiles/dse_doe.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ml/CMakeFiles/dse_ml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/dse_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/dse_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/dse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

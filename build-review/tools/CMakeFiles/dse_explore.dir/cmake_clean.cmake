@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_explore.dir/dse_explore.cc.o"
+  "CMakeFiles/dse_explore.dir/dse_explore.cc.o.d"
+  "dse_explore"
+  "dse_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

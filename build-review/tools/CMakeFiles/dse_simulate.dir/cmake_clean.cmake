@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_simulate.dir/dse_sim.cc.o"
+  "CMakeFiles/dse_simulate.dir/dse_sim.cc.o.d"
+  "dse_simulate"
+  "dse_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
