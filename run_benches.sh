@@ -1,4 +1,7 @@
 #!/bin/bash
+# Fail fast on script bugs, and report a nonzero exit when any bench
+# fails so CI can gate on this script instead of eyeballing logs.
+set -euo pipefail
 cd /root/repo
 # Fan batch simulation / fold training / holdout evaluation out over
 # all cores unless the caller pinned a thread count.
@@ -8,6 +11,7 @@ echo "DSE_THREADS=$DSE_THREADS"
 # this script (BENCH_<name>.json) so perf changes can be diffed against
 # the committed baselines (e.g. BENCH_ann.json for micro_ann).
 GBENCH_BINARIES="micro_ann fig_5_8_training_times"
+failed=0
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo "===================================================================="
@@ -21,6 +25,15 @@ for b in build/bench/*; do
         extra=("--benchmark_out=$out" "--benchmark_out_format=json")
         ;;
     esac
-    timeout 3000 "$b" "${extra[@]}" 2>/dev/null
+    rc=0
+    timeout 3000 "$b" "${extra[@]}" 2>/dev/null || rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "BENCH FAILED: $b (exit $rc)" >&2
+        failed=1
+    fi
     echo
 done
+if [ "$failed" -ne 0 ]; then
+    echo "one or more benches failed" >&2
+    exit 1
+fi

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 // Hot kernels are compiled once per ISA level with runtime ifunc
@@ -611,7 +612,23 @@ Ann::train(const std::vector<double> &input,
                         delta_.data() + layer.act, eta, alpha, acc);
         }
     }
+    if (!std::isfinite(sq_error))
+        diverged_ = true;
     return sq_error;
+}
+
+bool
+Ann::finiteWeights() const
+{
+    for (double w : w_) {
+        if (!std::isfinite(w))
+            return false;
+    }
+    for (double dw : dwPrev_) {
+        if (!std::isfinite(dw))
+            return false;
+    }
+    return true;
 }
 
 std::vector<double>

@@ -186,10 +186,22 @@ class Ann
      * One stochastic gradient-descent step on a single example
      * (backpropagation with momentum, Equation 3.2).
      *
+     * Divergence detection: a non-finite example error (NaN/Inf
+     * inputs, or weights that have already blown up) latches the
+     * diverged() flag; the trainer uses it to abandon the attempt
+     * and retry from a reseeded initialization rather than let NaNs
+     * propagate into the ensemble (see trainEnsemble).
+     *
      * @return the example's squared error before the update
      */
     double train(const std::vector<double> &input,
                  const std::vector<double> &target);
+
+    /** True once any training step produced a non-finite error. */
+    bool diverged() const { return diverged_; }
+
+    /** True iff every weight (and momentum term) is finite. */
+    bool finiteWeights() const;
 
     int inputs() const { return inputs_; }
     int outputs() const { return outputs_; }
@@ -227,6 +239,7 @@ class Ann
     int inputs_;
     int outputs_;
     AnnParams params_;
+    bool diverged_ = false;  ///< latched by train() on non-finite error
     std::vector<Layer> layers_;
     int maxWidth_ = 0;  ///< max layer output width
     /**

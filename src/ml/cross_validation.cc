@@ -8,6 +8,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "util/fault.hh"
 #include "util/stats.hh"
 #include "util/thread_pool.hh"
 
@@ -82,8 +83,10 @@ evalError(const Ann &net, const DataSet &data, const TargetScaler &scaler,
 } // namespace
 
 Ensemble::Ensemble(std::vector<Ann> nets, TargetScaler scaler,
-                   ErrorEstimate estimate)
-    : nets_(std::move(nets)), scaler_(scaler), estimate_(estimate)
+                   ErrorEstimate estimate,
+                   std::vector<TrainWarning> warnings)
+    : nets_(std::move(nets)), scaler_(scaler), estimate_(estimate),
+      warnings_(std::move(warnings))
 {
     if (nets_.empty())
         throw std::invalid_argument("ensemble needs at least one member");
@@ -234,8 +237,15 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
     std::vector<std::optional<Ann>> slots(static_cast<size_t>(k));
     std::vector<std::vector<double>> fold_pct_errors(
         static_cast<size_t>(k));
+    std::vector<std::optional<TrainWarning>> warn_slots(
+        static_cast<size_t>(k));
 
-    auto train_fold = [&](size_t mi) {
+    // One initialization of fold mi from the given seed; returns the
+    // trained network, or nothing if it diverged (non-finite epoch
+    // loss or weights). The happy path consumes the RNG stream
+    // exactly as it always has, so healthy training is bit-identical
+    // to the pre-retry implementation.
+    auto attempt_fold = [&](size_t mi, uint64_t seed) {
         const int m = static_cast<int>(mi);
         // Model m: ES fold = (m + k - 1) % k, test fold = m, train on
         // the rest (Figure 3.3's rotation).
@@ -251,10 +261,8 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
         }
         const std::vector<size_t> &es_rows =
             folds[static_cast<size_t>(es_fold)];
-        const std::vector<size_t> &test_rows =
-            folds[static_cast<size_t>(test_fold)];
 
-        Rng fold_rng(fold_seeds[mi]);
+        Rng fold_rng(seed);
         Ann net(inputs, 1, opts.ann, fold_rng);
         const auto cdf = presentationCdf(data, train_rows,
                                          opts.weightedPresentation);
@@ -264,6 +272,12 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
         int stale = 0;
         std::vector<double> target(1);
 
+        // An epoch's summed squared error on sigmoid outputs is
+        // bounded by the row count; anything past this factor means
+        // the arithmetic blew up, not that the fit is merely bad.
+        const double explosion_bound =
+            100.0 * static_cast<double>(train_rows.size());
+
         const double base_lr = opts.ann.learningRate;
         for (int epoch = 0; epoch < opts.maxEpochs; ++epoch) {
             if (opts.ann.decayEpochs > 0.0) {
@@ -271,10 +285,15 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
                     base_lr / (1.0 + epoch / opts.ann.decayEpochs));
             }
             // One epoch = train_rows.size() weighted presentations.
+            double epoch_sq = 0.0;
             for (size_t n = 0; n < train_rows.size(); ++n) {
                 const size_t row = train_rows[drawRow(cdf, fold_rng)];
                 target[0] = scaler.encode(data.y[row]);
-                net.train(data.x[row], target);
+                epoch_sq += net.train(data.x[row], target);
+            }
+            if (net.diverged() || !std::isfinite(epoch_sq) ||
+                epoch_sq > explosion_bound) {
+                return std::optional<Ann>();
             }
             if (!opts.earlyStopping ||
                 (epoch + 1) % std::max(1, opts.esInterval) != 0) {
@@ -292,36 +311,88 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
         }
         if (opts.earlyStopping)
             net.setWeights(best_weights);
+        if (!net.finiteWeights())
+            return std::optional<Ann>();
+        return std::optional<Ann>(std::move(net));
+    };
 
-        // Test-fold percentage errors feed the pooled estimate.
-        for (size_t row : test_rows) {
-            const double pred =
-                scaler.decode(net.predictScalar(data.x[row]));
-            fold_pct_errors[mi].push_back(
-                percentageError(pred, data.y[row]));
+    auto train_fold = [&](size_t mi) {
+        const int attempts_allowed = 1 + std::max(0, opts.foldRetries);
+        // Retry seeds derive from the fold seed, not a shared
+        // counter, so recovery is deterministic at any thread count.
+        SplitMix64 reseeder(fold_seeds[mi] ^ 0x6a09e667f3bcc909ull);
+        auto &injector = util::FaultInjector::global();
+
+        for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+            const uint64_t seed =
+                attempt == 0 ? fold_seeds[mi] : reseeder.next();
+            // Injection site "fold": a fired probe stands in for a
+            // diverged attempt, keyed by (fold, attempt) so the
+            // outcome is independent of scheduling.
+            std::optional<Ann> net;
+            if (!injector.shouldFail(
+                    "fold",
+                    mi * 64 + static_cast<uint64_t>(attempt))) {
+                net = attempt_fold(mi, seed);
+            }
+            if (!net)
+                continue;
+
+            // Test-fold percentage errors feed the pooled estimate.
+            for (size_t row : folds[mi]) {
+                const double pred =
+                    scaler.decode(net->predictScalar(data.x[row]));
+                fold_pct_errors[mi].push_back(
+                    percentageError(pred, data.y[row]));
+            }
+            slots[mi].emplace(std::move(*net));
+            return;
         }
-        slots[mi].emplace(std::move(net));
+        warn_slots[mi] = TrainWarning{
+            static_cast<int>(mi), attempts_allowed,
+            "fold " + std::to_string(mi) + " diverged on all " +
+                std::to_string(attempts_allowed) +
+                " initializations; dropped from the ensemble"};
     };
 
     util::ThreadPool::global().parallelFor(0, static_cast<size_t>(k),
                                            train_fold);
 
-    // Reassemble in fold order: nets and pooled errors are identical
-    // regardless of which thread trained which fold.
+    // Reassemble in fold order: nets, pooled errors, and warnings are
+    // identical regardless of which thread trained which fold.
     std::vector<Ann> nets;
     nets.reserve(static_cast<size_t>(k));
     std::vector<double> pooled_pct_errors;
+    std::vector<TrainWarning> warnings;
     for (int m = 0; m < k; ++m) {
+        if (warn_slots[static_cast<size_t>(m)]) {
+            warnings.push_back(*warn_slots[static_cast<size_t>(m)]);
+            continue;
+        }
         nets.push_back(std::move(*slots[static_cast<size_t>(m)]));
         const auto &errs = fold_pct_errors[static_cast<size_t>(m)];
         pooled_pct_errors.insert(pooled_pct_errors.end(), errs.begin(),
                                  errs.end());
     }
+    if (nets.empty()) {
+        throw std::runtime_error(
+            "trainEnsemble: every fold diverged after retries; "
+            "no usable ensemble");
+    }
 
     ErrorEstimate est;
     est.meanPct = mean(pooled_pct_errors);
     est.sdPct = stddev(pooled_pct_errors);
-    return Ensemble(std::move(nets), scaler, est);
+    if (!warnings.empty()) {
+        // Fewer members and fewer pooled test folds mean a less
+        // trustworthy estimate; widen it so a degraded ensemble
+        // never looks *more* converged than a healthy one.
+        const double widen = std::sqrt(
+            static_cast<double>(k) / static_cast<double>(nets.size()));
+        est.meanPct *= widen;
+        est.sdPct *= widen;
+    }
+    return Ensemble(std::move(nets), scaler, est, std::move(warnings));
 }
 
 } // namespace ml

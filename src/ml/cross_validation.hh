@@ -30,6 +30,7 @@
 #define DSE_ML_CROSS_VALIDATION_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ml/ann.hh"
@@ -78,6 +79,23 @@ struct TrainOptions
     /** Disable early stopping entirely (ablation). */
     bool earlyStopping = true;
     uint64_t seed = 12345;
+    /**
+     * Retraining attempts granted to a fold whose network diverges
+     * (NaN/Inf weights or an exploding epoch loss). Each retry
+     * reinitializes from a deterministically reseeded SplitMix64
+     * stream, so recovery is bit-identical at any thread count. A
+     * fold that exhausts 1 + foldRetries attempts is dropped and the
+     * ensemble degrades gracefully (see trainEnsemble).
+     */
+    int foldRetries = 3;
+};
+
+/** One fold's failure report when training degraded (see Ensemble). */
+struct TrainWarning
+{
+    int fold = 0;      ///< which fold was dropped
+    int attempts = 0;  ///< initializations tried before giving up
+    std::string message;
 };
 
 /**
@@ -88,7 +106,8 @@ class Ensemble
 {
   public:
     Ensemble(std::vector<Ann> nets, TargetScaler scaler,
-             ErrorEstimate estimate);
+             ErrorEstimate estimate,
+             std::vector<TrainWarning> warnings = {});
 
     /** Ensemble prediction: average of member predictions, decoded. */
     double predict(const std::vector<double> &features) const;
@@ -126,8 +145,23 @@ class Ensemble
 
     size_t members() const { return nets_.size(); }
 
-    /** Cross-validation error estimate (mean and SD, percent). */
+    /** Cross-validation error estimate (mean and SD, percent). When
+     *  training degraded, the estimate is widened (see warnings()). */
     const ErrorEstimate &estimate() const { return estimate_; }
+
+    /**
+     * Structured reports for folds dropped during training. Empty
+     * for a healthy ensemble; non-empty means fewer than the
+     * requested k members survived and estimate() was widened by
+     * sqrt(k / survivors) to stay conservative.
+     */
+    const std::vector<TrainWarning> &warnings() const
+    {
+        return warnings_;
+    }
+
+    /** True if any fold was dropped during training. */
+    bool degraded() const { return !warnings_.empty(); }
 
     const TargetScaler &scaler() const { return scaler_; }
 
@@ -149,14 +183,24 @@ class Ensemble
     std::vector<Ann> nets_;
     TargetScaler scaler_;
     ErrorEstimate estimate_;
+    std::vector<TrainWarning> warnings_;
 };
 
 /**
  * Train a k-fold cross-validation ensemble on a data set.
  *
+ * Failure containment: a fold whose network diverges is retried up
+ * to opts.foldRetries times from deterministically reseeded
+ * initializations; a fold that still fails is dropped rather than
+ * aborting the campaign. The returned ensemble then carries the
+ * surviving members, a warnings() entry per dropped fold, and an
+ * error estimate widened by sqrt(k / survivors). Only if *every*
+ * fold exhausts its retries does this throw.
+ *
  * @param data encoded features and raw (unscaled) targets
  * @param opts training configuration
  * @return the ensemble with its error estimate
+ * @throws std::runtime_error if all folds diverge
  */
 Ensemble trainEnsemble(const DataSet &data, const TrainOptions &opts);
 

@@ -1,10 +1,17 @@
 #include "ml/io.hh"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/fault.hh"
 
 namespace dse {
 namespace ml {
@@ -13,6 +20,7 @@ namespace {
 
 constexpr const char *kMagic = "dse-ensemble";
 constexpr int kVersion = 1;
+constexpr const char *kChecksumTag = "checksum";
 
 void
 expectToken(std::istream &is, const std::string &expected)
@@ -21,6 +29,34 @@ expectToken(std::istream &is, const std::string &expected)
     if (!(is >> token) || token != expected) {
         throw std::runtime_error("ensemble file: expected '" + expected +
                                  "', got '" + token + "'");
+    }
+}
+
+uint64_t
+fnv1a(const char *data, size_t n)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= static_cast<uint8_t>(data[i]);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Write bytes to fd, retrying on EINTR. @throws on I/O error. */
+void
+writeAll(int fd, const char *data, size_t n, const std::string &path)
+{
+    size_t done = 0;
+    while (done < n) {
+        const ssize_t w = ::write(fd, data + done, n - done);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            throw std::runtime_error("write failed: " + path + ": " +
+                                     std::strerror(errno));
+        }
+        done += static_cast<size_t>(w);
     }
 }
 
@@ -63,12 +99,62 @@ saveEnsemble(std::ostream &os, const Ensemble &model)
 void
 saveEnsemble(const std::string &path, const Ensemble &model)
 {
-    std::ofstream os(path);
-    if (!os)
-        throw std::runtime_error("cannot open for writing: " + path);
-    saveEnsemble(os, model);
-    if (!os)
-        throw std::runtime_error("write failed: " + path);
+    // Serialize fully in memory, then append a whole-file checksum
+    // trailer that loadEnsemble(path) verifies: any torn or bit-rotted
+    // on-disk copy is detected at load, not at predict time.
+    std::ostringstream body;
+    saveEnsemble(body, model);
+    std::string bytes = body.str();
+    if (!body)
+        throw std::runtime_error("ensemble serialization failed");
+    {
+        std::ostringstream trailer;
+        trailer << kChecksumTag << ' ' << std::hex << std::setw(16)
+                << std::setfill('0') << fnv1a(bytes.data(), bytes.size())
+                << '\n';
+        bytes += trailer.str();
+    }
+
+    if (util::FaultInjector::global().shouldFail("save")) {
+        // Injected torn write: leave half the payload at the *final*
+        // path — the wreckage a non-atomic writer (or a disk pulled
+        // mid-write) leaves behind — so tests can prove the loader
+        // rejects it.
+        std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+        torn.write(bytes.data(),
+                   static_cast<std::streamsize>(bytes.size() / 2));
+        torn.flush();
+        throw std::runtime_error("injected fault: saveEnsemble(" + path +
+                                 ") torn write");
+    }
+
+    // Atomic publish: temp file in the same directory, fsync, rename.
+    // Readers of `path` see either the old complete file or the new
+    // complete file, never a partial write.
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        throw std::runtime_error("cannot open for writing: " + tmp +
+                                 ": " + std::strerror(errno));
+    }
+    try {
+        writeAll(fd, bytes.data(), bytes.size(), tmp);
+        if (::fsync(fd) != 0) {
+            throw std::runtime_error("fsync failed: " + tmp + ": " +
+                                     std::strerror(errno));
+        }
+    } catch (...) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw;
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        throw std::runtime_error("rename failed: " + tmp + " -> " + path +
+                                 ": " + std::strerror(err));
+    }
 }
 
 Ensemble
@@ -76,8 +162,12 @@ loadEnsemble(std::istream &is)
 {
     expectToken(is, kMagic);
     int version = 0;
-    if (!(is >> version) || version != kVersion)
-        throw std::runtime_error("unsupported ensemble file version");
+    if (!(is >> version) || version != kVersion) {
+        throw std::runtime_error(
+            "unsupported ensemble file version " +
+            std::to_string(version) + " (this build reads version " +
+            std::to_string(kVersion) + ")");
+    }
 
     expectToken(is, "members");
     size_t members = 0;
@@ -105,6 +195,14 @@ loadEnsemble(std::istream &is)
           params.decayEpochs)) {
         throw std::runtime_error("bad network metadata");
     }
+    // Bound the topology before Ann's constructor sizes its arenas
+    // from it: an adversarial header must not drive a huge (or
+    // overflowing) allocation.
+    if (inputs <= 0 || inputs > 4096 || outputs <= 0 || outputs > 4096 ||
+        params.hiddenUnits <= 0 || params.hiddenUnits > 4096 ||
+        params.hiddenLayers <= 0 || params.hiddenLayers > 64) {
+        throw std::runtime_error("implausible network metadata");
+    }
 
     Rng rng(0);  // placeholder init; weights overwritten below
     std::vector<Ann> nets;
@@ -131,10 +229,42 @@ loadEnsemble(std::istream &is)
 Ensemble
 loadEnsemble(const std::string &path)
 {
-    std::ifstream is(path);
+    std::ifstream is(path, std::ios::binary);
     if (!is)
         throw std::runtime_error("cannot open for reading: " + path);
-    return loadEnsemble(is);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string bytes = buf.str();
+    if (bytes.empty())
+        throw std::runtime_error("ensemble file is empty: " + path);
+
+    // The checksum trailer is the last line: "checksum <16 hex>\n".
+    // Its absence means the writer never finished (torn/truncated
+    // file); a mismatch means the bytes changed after the writer
+    // finished (corruption). Keep the two failure modes distinct —
+    // they call for different operator responses.
+    const size_t tag_at = bytes.rfind(std::string(kChecksumTag) + " ");
+    if (tag_at == std::string::npos ||
+        (tag_at != 0 && bytes[tag_at - 1] != '\n')) {
+        throw std::runtime_error(
+            "ensemble file truncated (missing checksum trailer): " +
+            path);
+    }
+    std::istringstream trailer(bytes.substr(tag_at));
+    std::string tag;
+    uint64_t stored = 0;
+    if (!(trailer >> tag >> std::hex >> stored)) {
+        throw std::runtime_error(
+            "ensemble file truncated (unreadable checksum trailer): " +
+            path);
+    }
+    if (fnv1a(bytes.data(), tag_at) != stored) {
+        throw std::runtime_error(
+            "ensemble file corrupt (checksum mismatch): " + path);
+    }
+
+    std::istringstream body(bytes.substr(0, tag_at));
+    return loadEnsemble(body);
 }
 
 } // namespace ml

@@ -9,6 +9,17 @@
  * scaler, error estimate, and per-member weight vectors. All numbers
  * are written with max_digits10 precision, so a save/load round trip
  * reproduces predictions bit-exactly.
+ *
+ * Durability (file overloads): saveEnsemble(path) writes the whole
+ * serialization plus a trailing whole-file checksum line to a temp
+ * file, fsyncs, and renames it into place — a crash mid-save leaves
+ * the previous complete file, never a torn one. loadEnsemble(path)
+ * verifies the checksum before parsing and reports *distinct* errors
+ * for a truncated file (no/partial trailer), a corrupt file
+ * (checksum mismatch), and a version mismatch, so an operator knows
+ * whether to re-save, restore from backup, or upgrade. The stream
+ * overloads keep the historical trailer-less format for embedding in
+ * other streams.
  */
 
 #ifndef DSE_ML_IO_HH

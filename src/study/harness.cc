@@ -1,9 +1,12 @@
 #include "study/harness.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "util/env.hh"
+#include "util/fault.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/thread_pool.hh"
@@ -12,11 +15,52 @@
 namespace dse {
 namespace study {
 
+namespace {
+
+/** Resolve the journal path: explicit argument wins, else DSE_JOURNAL
+ *  with "{study}"/"{app}" placeholders expanded (so one environment
+ *  setting journals a multi-app sweep into per-app files). */
+std::string
+resolveJournalPath(const std::string &explicit_path, StudyKind kind,
+                   const std::string &app)
+{
+    std::string path = explicit_path;
+    if (path.empty()) {
+        const char *env = std::getenv("DSE_JOURNAL");
+        if (!env || !*env)
+            return "";
+        path = env;
+    }
+    const auto expand = [&path](const std::string &key,
+                                const std::string &value) {
+        for (size_t at; (at = path.find(key)) != std::string::npos;)
+            path.replace(at, key.size(), value);
+    };
+    expand("{study}", studyName(kind));
+    expand("{app}", app);
+    return path;
+}
+
+} // namespace
+
 StudyContext::StudyContext(StudyKind kind, const std::string &app,
-                           size_t trace_length)
+                           size_t trace_length,
+                           const std::string &journal_path)
     : kind_(kind), app_(app), space_(spaceFor(kind)),
       trace_(workload::generateBenchmarkTrace(app, trace_length))
 {
+    const std::string path = resolveJournalPath(journal_path, kind, app);
+    if (path.empty())
+        return;
+    journal_ = std::make_unique<SimJournal>(path, kind_, app_,
+                                            trace_.size());
+    journalStats_ =
+        journal_->replay([this](uint64_t index,
+                                const sim::SimResult &result) {
+            auto &shard = shardFor(cache_, index);
+            std::lock_guard<std::mutex> lock(shard.mu);
+            shard.map.emplace(index, result);
+        });
 }
 
 const sim::SimResult &
@@ -30,15 +74,28 @@ StudyContext::simulateFull(uint64_t index)
             return it->second;
     }
 
+    if (util::FaultInjector::global().shouldFail("sim", index)) {
+        throw std::runtime_error(
+            "injected fault: simulateFull(" + std::to_string(index) +
+            ")");
+    }
+
     // Simulate outside the lock: concurrent callers may duplicate the
     // work of a point briefly in flight, but the result is a pure
     // function of the index, so whichever insert wins is identical.
     sim::SimOptions opts;
     opts.warmCaches = true;
     auto result = sim::simulate(trace_, config(index), opts);
+    executed_.fetch_add(1, std::memory_order_relaxed);
 
     std::lock_guard<std::mutex> lock(shard.mu);
-    return shard.map.emplace(index, std::move(result)).first->second;
+    auto [it, inserted] = shard.map.emplace(index, std::move(result));
+    // Journal only the winning insert (a lost duplicate is identical
+    // anyway), under the shard lock so the record matches the cached
+    // value and appends for one shard stay ordered.
+    if (inserted && journal_)
+        journal_->append(index, it->second);
+    return it->second;
 }
 
 double

@@ -10,6 +10,7 @@
 #define DSE_STUDY_HARNESS_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -21,6 +22,7 @@
 #include "ml/encoding.hh"
 #include "sim/core.hh"
 #include "simpoint/simpoint.hh"
+#include "study/journal.hh"
 #include "study/spaces.hh"
 #include "workload/trace.hh"
 
@@ -41,6 +43,16 @@ namespace study {
  * may be called concurrently. Simulation itself is a pure function of
  * (trace, config), so concurrent evaluation is bit-identical to
  * serial regardless of thread count or interleaving.
+ *
+ * Crash safety: with a journal attached (explicit path, or the
+ * DSE_JOURNAL environment variable — "{study}" and "{app}"
+ * placeholders expand so one setting covers multi-app sweeps), every
+ * detailed simulation result is appended to an append-only
+ * checksummed journal as it completes, and construction replays an
+ * existing journal into the memo cache. A killed campaign resumed
+ * against the same journal re-simulates nothing, and replayed
+ * results are bit-identical to freshly simulated ones (see
+ * journal.hh and DESIGN.md, "Failure model & recovery").
  */
 class StudyContext
 {
@@ -49,9 +61,12 @@ class StudyContext
      * @param kind which design space
      * @param app benchmark name (one of workload::benchmarkNames())
      * @param trace_length dynamic trace length (0 = library default)
+     * @param journal_path write-ahead journal file; "" consults the
+     *        DSE_JOURNAL environment variable (unset = no journal)
      */
     StudyContext(StudyKind kind, const std::string &app,
-                 size_t trace_length = 0);
+                 size_t trace_length = 0,
+                 const std::string &journal_path = "");
 
     const ml::DesignSpace &space() const { return space_; }
     StudyKind kind() const { return kind_; }
@@ -78,8 +93,26 @@ class StudyContext
     /** Machine configuration of a design point. */
     sim::MachineConfig config(uint64_t index) const;
 
-    /** Number of distinct detailed simulations performed so far. */
+    /** Number of distinct detailed simulations performed so far
+     *  (memoized results, including any replayed from a journal). */
     size_t simulationsRun() const;
+
+    /** Detailed simulations actually *executed* by this context —
+     *  excludes journal-replayed results, so a resumed study reports
+     *  0 until it reaches a point its journal has not seen. */
+    size_t simulationsExecuted() const
+    {
+        return executed_.load(std::memory_order_relaxed);
+    }
+
+    /** True if a write-ahead journal is attached. */
+    bool journalActive() const { return journal_ != nullptr; }
+
+    /** What construction replayed from the journal (zeros if none). */
+    const SimJournal::ReplayStats &journalStats() const
+    {
+        return journalStats_;
+    }
 
     /** Instructions per detailed simulation (trace length). */
     size_t instructionsPerSimulation() const { return trace_.size(); }
@@ -146,6 +179,9 @@ class StudyContext
     std::mutex simPointMu_;  ///< guards simPoints_ / simPointScale_
     std::unique_ptr<simpoint::SimPoints> simPoints_;
     double simPointScale_ = 0.0;  ///< lazily calibrated; 0 = not yet
+    std::unique_ptr<SimJournal> journal_;
+    SimJournal::ReplayStats journalStats_;
+    std::atomic<size_t> executed_{0};  ///< non-replayed simulations
 };
 
 /**

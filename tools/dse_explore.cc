@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -64,7 +65,9 @@ usage()
         "  --load-model=<path>        skip training, load a model\n"
         "  --predict=<index>          predict a design point (repeat)\n"
         "  --describe-space           print the space and exit\n"
-        "  --list-apps                print benchmark names and exit");
+        "  --list-apps                print benchmark names and exit\n"
+        "exit codes: 0 ok, 1 bad usage, 2 invalid input (unknown app/\n"
+        "index/model contents), 3 runtime or I/O failure, 4 internal");
 }
 
 bool
@@ -180,10 +183,8 @@ printPoint(study::StudyContext &ctx, const ml::Ensemble &model,
     }
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     Options opts;
     if (!parse(argc, argv, opts)) {
@@ -248,4 +249,27 @@ main(int argc, char **argv)
     for (uint64_t idx : opts.predictIndices)
         printPoint(ctx, *model, idx);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Every failure surfaces as one actionable line and a distinct
+    // exit code (see usage()) — never an uncaught std::runtime_error
+    // aborting with a core dump mid-campaign.
+    try {
+        return run(argc, argv);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "dse_explore: invalid input: %s\n",
+                     e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "dse_explore: error: %s\n", e.what());
+        return 3;
+    } catch (...) {
+        std::fprintf(stderr, "dse_explore: unknown fatal error\n");
+        return 4;
+    }
 }

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "study/harness.hh"
@@ -32,7 +33,9 @@ usage()
         "               [--index=<n> | Param=value ...] [--simpoint]\n"
         "Runs one detailed simulation and prints its statistics.\n"
         "Param=value entries override the space's middle point; use\n"
-        "dse_explore --describe-space for names and levels.");
+        "dse_explore --describe-space for names and levels.\n"
+        "exit codes: 0 ok, 1 bad usage, 2 invalid input, 3 runtime\n"
+        "or I/O failure, 4 internal");
 }
 
 int
@@ -55,10 +58,8 @@ levelOfValue(const ml::DesignSpace &space, size_t p,
     return -1;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     study::StudyKind kind = study::StudyKind::MemorySystem;
     std::string app = "gzip";
@@ -166,4 +167,25 @@ main(int argc, char **argv)
                     ctx.trace().size());
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // One actionable line and a distinct exit code per failure class;
+    // an unknown benchmark or an unreadable journal must not abort.
+    try {
+        return run(argc, argv);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "dse_sim: invalid input: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "dse_sim: error: %s\n", e.what());
+        return 3;
+    } catch (...) {
+        std::fprintf(stderr, "dse_sim: unknown fatal error\n");
+        return 4;
+    }
 }
