@@ -24,6 +24,7 @@
 #include "ml/cross_validation.hh"
 #include "study/harness.hh"
 #include "util/env.hh"
+#include "util/metrics.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
@@ -157,8 +158,21 @@ firstReaching(const std::vector<CurvePoint> &curve, double target_pct)
 inline void
 printCurve(const std::string &title, const std::vector<CurvePoint> &curve)
 {
-    std::printf("\n== %s (threads=%zu) ==\n", title.c_str(),
-                effectiveThreads());
+    if (obs::metricsEnabled()) {
+        // Annotate the curve header with the simulation-cache story
+        // so a bench log records how much work was memoized away.
+        const auto snap = obs::MetricsRegistry::global().snapshot();
+        std::printf("\n== %s (threads=%zu sim.executed=%llu "
+                    "sim.memo_hits=%llu) ==\n",
+                    title.c_str(), effectiveThreads(),
+                    static_cast<unsigned long long>(
+                        snap.counter("sim.executed")),
+                    static_cast<unsigned long long>(
+                        snap.counter("sim.memo_hits")));
+    } else {
+        std::printf("\n== %s (threads=%zu) ==\n", title.c_str(),
+                    effectiveThreads());
+    }
     Table t({"samples", "sample%", "est_mean%", "est_sd%", "true_mean%",
              "true_sd%"});
     for (const auto &p : curve) {

@@ -6,11 +6,43 @@ cd /root/repo
 # Fan batch simulation / fold training / holdout evaluation out over
 # all cores unless the caller pinned a thread count.
 export DSE_THREADS="${DSE_THREADS:-$(nproc)}"
-echo "DSE_THREADS=$DSE_THREADS"
+# Arm the dse::obs metrics layer so curve headers record the
+# simulation-cache story (sim.executed / sim.memo_hits). Callers can
+# pin DSE_METRICS=0 for an instrumentation-free timing run.
+export DSE_METRICS="${DSE_METRICS:-1}"
+echo "DSE_THREADS=$DSE_THREADS DSE_METRICS=$DSE_METRICS"
 # Google-Benchmark binaries also emit machine-readable JSON next to
 # this script (BENCH_<name>.json) so perf changes can be diffed against
 # the committed baselines (e.g. BENCH_ann.json for micro_ann).
 GBENCH_BINARIES="micro_ann fig_5_8_training_times"
+
+# Gate a freshly written BENCH_<name>.json before it can replace the
+# committed baseline: it must parse as JSON and contain a non-empty
+# "benchmarks" array. A crashed or timed-out bench otherwise leaves a
+# truncated file that silently poisons every later perf diff.
+check_bench_json() {
+    local f="$1"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$f" <<'EOF'
+import json, sys
+try:
+    with open(sys.argv[1]) as fh:
+        doc = json.load(fh)
+except (OSError, ValueError) as e:
+    sys.exit(f"{sys.argv[1]}: not valid JSON: {e}")
+benches = doc.get("benchmarks")
+if not isinstance(benches, list) or not benches:
+    sys.exit(f"{sys.argv[1]}: no benchmarks recorded")
+EOF
+    else
+        # Fallback sanity check without python3: non-empty, contains a
+        # benchmarks array, and ends with a closing brace (gbench JSON
+        # is truncated mid-array when the process dies).
+        [ -s "$f" ] && grep -q '"benchmarks"' "$f" &&
+            [ "$(tail -c 2 "$f" | tr -d '[:space:]')" = "}" ]
+    fi
+}
+
 failed=0
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
@@ -18,18 +50,30 @@ for b in build/bench/*; do
     echo "== $b"
     echo "===================================================================="
     name=$(basename "$b")
+    out=""
     extra=()
     case " $GBENCH_BINARIES " in
       *" $name "*)
         out="BENCH_${name#micro_}.json"
-        extra=("--benchmark_out=$out" "--benchmark_out_format=json")
+        # Write to a temp file first; only a validated run may replace
+        # the committed baseline.
+        extra=("--benchmark_out=$out.tmp" "--benchmark_out_format=json")
         ;;
     esac
     rc=0
     timeout 3000 "$b" "${extra[@]}" 2>/dev/null || rc=$?
     if [ "$rc" -ne 0 ]; then
         echo "BENCH FAILED: $b (exit $rc)" >&2
+        [ -n "$out" ] && rm -f "$out.tmp"
         failed=1
+    elif [ -n "$out" ]; then
+        if check_bench_json "$out.tmp"; then
+            mv "$out.tmp" "$out"
+        else
+            echo "BENCH OUTPUT INVALID: $out.tmp (kept $out)" >&2
+            rm -f "$out.tmp"
+            failed=1
+        fi
     fi
     echo
 done

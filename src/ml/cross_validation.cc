@@ -9,13 +9,41 @@
 #include <stdexcept>
 
 #include "util/fault.hh"
+#include "util/metrics.hh"
 #include "util/stats.hh"
 #include "util/thread_pool.hh"
+#include "util/trace.hh"
 
 namespace dse {
 namespace ml {
 
 namespace {
+
+/** Training-stage metrics (DESIGN.md "Observability"). */
+struct TrainMetrics
+{
+    obs::CounterId ensembles, epochs, foldsTrained, foldRetries,
+        divergences, foldsDropped;
+    obs::HistogramId foldWallNs;
+
+    static const TrainMetrics &
+    get()
+    {
+        static const TrainMetrics m = [] {
+            auto &r = obs::MetricsRegistry::global();
+            TrainMetrics t;
+            t.ensembles = r.counter("train.ensembles");
+            t.epochs = r.counter("train.epochs");
+            t.foldsTrained = r.counter("train.folds_trained");
+            t.foldRetries = r.counter("train.fold_retries");
+            t.divergences = r.counter("train.divergences");
+            t.foldsDropped = r.counter("train.folds_dropped");
+            t.foldWallNs = r.histogram("train.fold_wall_ns");
+            return t;
+        }();
+        return m;
+    }
+};
 
 /**
  * Cumulative presentation weights for one fold's training rows
@@ -278,6 +306,8 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
         const double explosion_bound =
             100.0 * static_cast<double>(train_rows.size());
 
+        const auto &tm = TrainMetrics::get();
+        auto &registry = obs::MetricsRegistry::global();
         const double base_lr = opts.ann.learningRate;
         for (int epoch = 0; epoch < opts.maxEpochs; ++epoch) {
             if (opts.ann.decayEpochs > 0.0) {
@@ -291,6 +321,7 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
                 target[0] = scaler.encode(data.y[row]);
                 epoch_sq += net.train(data.x[row], target);
             }
+            registry.add(tm.epochs);
             if (net.diverged() || !std::isfinite(epoch_sq) ||
                 epoch_sq > explosion_bound) {
                 return std::optional<Ann>();
@@ -317,6 +348,9 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
     };
 
     auto train_fold = [&](size_t mi) {
+        const auto &tm = TrainMetrics::get();
+        auto &registry = obs::MetricsRegistry::global();
+        obs::TraceScope span("train-fold", tm.foldWallNs);
         const int attempts_allowed = 1 + std::max(0, opts.foldRetries);
         // Retry seeds derive from the fold seed, not a shared
         // counter, so recovery is deterministic at any thread count.
@@ -324,6 +358,8 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
         auto &injector = util::FaultInjector::global();
 
         for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+            if (attempt > 0)
+                registry.add(tm.foldRetries);
             const uint64_t seed =
                 attempt == 0 ? fold_seeds[mi] : reseeder.next();
             // Injection site "fold": a fired probe stands in for a
@@ -335,8 +371,10 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
                     mi * 64 + static_cast<uint64_t>(attempt))) {
                 net = attempt_fold(mi, seed);
             }
-            if (!net)
+            if (!net) {
+                registry.add(tm.divergences);
                 continue;
+            }
 
             // Test-fold percentage errors feed the pooled estimate.
             for (size_t row : folds[mi]) {
@@ -346,8 +384,10 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
                     percentageError(pred, data.y[row]));
             }
             slots[mi].emplace(std::move(*net));
+            registry.add(tm.foldsTrained);
             return;
         }
+        registry.add(tm.foldsDropped);
         warn_slots[mi] = TrainWarning{
             static_cast<int>(mi), attempts_allowed,
             "fold " + std::to_string(mi) + " diverged on all " +
@@ -355,6 +395,7 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
                 " initializations; dropped from the ensemble"};
     };
 
+    obs::MetricsRegistry::global().add(TrainMetrics::get().ensembles);
     util::ThreadPool::global().parallelFor(0, static_cast<size_t>(k),
                                            train_fold);
 

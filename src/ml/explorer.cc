@@ -4,10 +4,42 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/metrics.hh"
 #include "util/thread_pool.hh"
+#include "util/trace.hh"
 
 namespace dse {
 namespace ml {
+
+namespace {
+
+/** Exploration-stage metrics (DESIGN.md "Observability"). */
+struct ExploreMetrics
+{
+    obs::CounterId rounds, pointsSimulated, pointsPredicted,
+        pointsScored;
+    obs::HistogramId encodeWallNs, predictWallNs, scoreWallNs;
+
+    static const ExploreMetrics &
+    get()
+    {
+        static const ExploreMetrics m = [] {
+            auto &r = obs::MetricsRegistry::global();
+            ExploreMetrics e;
+            e.rounds = r.counter("explore.rounds");
+            e.pointsSimulated = r.counter("explore.points_simulated");
+            e.pointsPredicted = r.counter("explore.points_predicted");
+            e.pointsScored = r.counter("explore.points_scored");
+            e.encodeWallNs = r.histogram("explore.encode_wall_ns");
+            e.predictWallNs = r.histogram("explore.predict_wall_ns");
+            e.scoreWallNs = r.histogram("explore.score_wall_ns");
+            return e;
+        }();
+        return m;
+    }
+};
+
+} // namespace
 
 Explorer::Explorer(const DesignSpace &space, SimulatorFn simulator,
                    ExplorerOptions opts)
@@ -63,12 +95,18 @@ Explorer::pickBatch(size_t n)
         std::vector<uint64_t> pool =
             draw_unseen(std::max(n, opts_.candidatePool));
         std::vector<std::pair<double, uint64_t>> scored(pool.size());
-        util::ThreadPool::global().parallelFor(
-            0, pool.size(), [&](size_t i) {
-                scored[i] = {
-                    ensemble_->memberSpread(space_.encodeIndex(pool[i])),
-                    pool[i]};
-            });
+        {
+            const auto &em = ExploreMetrics::get();
+            obs::TraceScope span("score", em.scoreWallNs);
+            obs::MetricsRegistry::global().add(em.pointsScored,
+                                               pool.size());
+            util::ThreadPool::global().parallelFor(
+                0, pool.size(), [&](size_t i) {
+                    scored[i] = {ensemble_->memberSpread(
+                                     space_.encodeIndex(pool[i])),
+                                 pool[i]};
+                });
+        }
         std::sort(scored.begin(), scored.end(),
                   [](const auto &a, const auto &b) {
                       return a.first > b.first;
@@ -97,9 +135,25 @@ Explorer::step()
     if (batch.empty())
         return std::nullopt;
 
-    for (uint64_t idx : batch) {
-        indices_.push_back(idx);
-        data_.add(space_.encodeIndex(idx), simulator_(idx));
+    const auto &em = ExploreMetrics::get();
+    auto &registry = obs::MetricsRegistry::global();
+    registry.add(em.rounds);
+    registry.add(em.pointsSimulated, batch.size());
+
+    // Encode the whole batch first (a span of pure feature encoding),
+    // then simulate and accumulate. The simulator memoizes by index
+    // and the encoding is a pure function of the index, so splitting
+    // the loop changes no result.
+    std::vector<std::vector<double>> features;
+    features.reserve(batch.size());
+    {
+        obs::TraceScope span("encode", em.encodeWallNs);
+        for (uint64_t idx : batch)
+            features.push_back(space_.encodeIndex(idx));
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+        indices_.push_back(batch[i]);
+        data_.add(std::move(features[i]), simulator_(batch[i]));
     }
 
     TrainOptions train = opts_.train;

@@ -2,20 +2,53 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "util/env.hh"
 #include "util/fault.hh"
+#include "util/metrics.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/thread_pool.hh"
+#include "util/trace.hh"
 #include "workload/generator.hh"
 
 namespace dse {
 namespace study {
 
 namespace {
+
+/** Simulation-stage metrics (DESIGN.md "Observability"): every
+ *  simulateFull call is a request that resolves as either a memo hit
+ *  or an executed simulation, so sim.memo_hits + sim.executed ==
+ *  sim.requests whenever no fault injection interferes. */
+struct SimMetrics
+{
+    obs::CounterId requests, memoHits, executed;
+    obs::CounterId spRequests, spMemoHits, spEstimates;
+    obs::HistogramId wallNs, spWallNs;
+
+    static const SimMetrics &
+    get()
+    {
+        static const SimMetrics m = [] {
+            auto &r = obs::MetricsRegistry::global();
+            SimMetrics s;
+            s.requests = r.counter("sim.requests");
+            s.memoHits = r.counter("sim.memo_hits");
+            s.executed = r.counter("sim.executed");
+            s.spRequests = r.counter("sim.simpoint_requests");
+            s.spMemoHits = r.counter("sim.simpoint_memo_hits");
+            s.spEstimates = r.counter("sim.simpoint_estimates");
+            s.wallNs = r.histogram("sim.wall_ns");
+            s.spWallNs = r.histogram("sim.simpoint_wall_ns");
+            return s;
+        }();
+        return m;
+    }
+};
 
 /** Resolve the journal path: explicit argument wins, else DSE_JOURNAL
  *  with "{study}"/"{app}" placeholders expanded (so one environment
@@ -66,12 +99,17 @@ StudyContext::StudyContext(StudyKind kind, const std::string &app,
 const sim::SimResult &
 StudyContext::simulateFull(uint64_t index)
 {
+    const auto &sm = SimMetrics::get();
+    auto &registry = obs::MetricsRegistry::global();
+    registry.add(sm.requests);
     auto &shard = shardFor(cache_, index);
     {
         std::lock_guard<std::mutex> lock(shard.mu);
         auto it = shard.map.find(index);
-        if (it != shard.map.end())
+        if (it != shard.map.end()) {
+            registry.add(sm.memoHits);
             return it->second;
+        }
     }
 
     if (util::FaultInjector::global().shouldFail("sim", index)) {
@@ -85,11 +123,16 @@ StudyContext::simulateFull(uint64_t index)
     // function of the index, so whichever insert wins is identical.
     sim::SimOptions opts;
     opts.warmCaches = true;
-    auto result = sim::simulate(trace_, config(index), opts);
+    std::optional<sim::SimResult> result;
+    {
+        obs::TraceScope span("sim", sm.wallNs);
+        result = sim::simulate(trace_, config(index), opts);
+    }
+    registry.add(sm.executed);
     executed_.fetch_add(1, std::memory_order_relaxed);
 
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto [it, inserted] = shard.map.emplace(index, std::move(result));
+    auto [it, inserted] = shard.map.emplace(index, std::move(*result));
     // Journal only the winning insert (a lost duplicate is identical
     // anyway), under the shard lock so the record matches the cached
     // value and appends for one shard stay ordered.
@@ -224,17 +267,26 @@ StudyContext::simPointScale()
 double
 StudyContext::simulateSimPointIpc(uint64_t index)
 {
+    const auto &sm = SimMetrics::get();
+    auto &registry = obs::MetricsRegistry::global();
+    registry.add(sm.spRequests);
     const double scale = simPointScale();
     auto &shard = shardFor(simPointCache_, index);
     {
         std::lock_guard<std::mutex> lock(shard.mu);
         auto it = shard.map.find(index);
-        if (it != shard.map.end())
+        if (it != shard.map.end()) {
+            registry.add(sm.spMemoHits);
             return it->second;
+        }
     }
-    const auto est = simpoint::estimateIpc(trace_, config(index),
-                                           simPoints());
-    const double calibrated = est.ipc * scale;
+    std::optional<simpoint::SimPointEstimate> est;
+    {
+        obs::TraceScope span("simpoint", sm.spWallNs);
+        est = simpoint::estimateIpc(trace_, config(index), simPoints());
+    }
+    registry.add(sm.spEstimates);
+    const double calibrated = est->ipc * scale;
     std::lock_guard<std::mutex> lock(shard.mu);
     return shard.map.emplace(index, calibrated).first->second;
 }

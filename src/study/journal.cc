@@ -9,11 +9,37 @@
 #include <unistd.h>
 
 #include "util/fault.hh"
+#include "util/metrics.hh"
+#include "util/trace.hh"
 
 namespace dse {
 namespace study {
 
 namespace {
+
+/** Journal durability metrics (DESIGN.md "Observability"). */
+struct JournalMetrics
+{
+    obs::CounterId appends, fsyncs, replayed, rejected, tornTails;
+    obs::HistogramId appendWallNs;
+
+    static const JournalMetrics &
+    get()
+    {
+        static const JournalMetrics m = [] {
+            auto &r = obs::MetricsRegistry::global();
+            JournalMetrics j;
+            j.appends = r.counter("journal.appends");
+            j.fsyncs = r.counter("journal.fsyncs");
+            j.replayed = r.counter("journal.replayed");
+            j.rejected = r.counter("journal.rejected");
+            j.tornTails = r.counter("journal.torn_tails");
+            j.appendWallNs = r.histogram("journal.append_wall_ns");
+            return j;
+        }();
+        return m;
+    }
+};
 
 constexpr char kMagic[8] = {'D', 'S', 'E', 'J', 'R', 'N', 'L', '1'};
 constexpr uint32_t kVersion = 1;
@@ -258,12 +284,23 @@ SimJournal::replay(
         }
         ::lseek(fd_, valid, SEEK_SET);
     }
+
+    const auto &jm = JournalMetrics::get();
+    auto &registry = obs::MetricsRegistry::global();
+    registry.add(jm.replayed, stats.replayed);
+    registry.add(jm.rejected, stats.rejected);
+    if (stats.tornTail)
+        registry.add(jm.tornTails);
     return stats;
 }
 
 void
 SimJournal::append(uint64_t index, const sim::SimResult &r)
 {
+    const auto &jm = JournalMetrics::get();
+    auto &registry = obs::MetricsRegistry::global();
+    obs::TraceScope span("journal-append", jm.appendWallNs);
+    registry.add(jm.appends);
     const auto record = encodeRecord(index, r);
     std::lock_guard<std::mutex> lock(appendMu_);
     if (util::FaultInjector::global().shouldFail("journal", index)) {
@@ -280,6 +317,7 @@ SimJournal::append(uint64_t index, const sim::SimResult &r)
         throw std::runtime_error("journal fsync failed: " + path_ + ": " +
                                  std::strerror(errno));
     }
+    registry.add(jm.fsyncs);
 }
 
 } // namespace study

@@ -69,6 +69,15 @@ FaultInjector::configure(const std::string &spec)
                 : static_cast<uint64_t>(scaled);
         }
         site->seed = seed;
+        // Export injections per site as `faults.injected.<site>` when
+        // the site name fits the metric naming scheme (it always does
+        // for the built-in sites; a creative test site just goes
+        // unexported rather than aborting the run).
+        const std::string metric_name = "faults.injected." + parts[0];
+        if (obs::MetricsRegistry::validName(metric_name)) {
+            site->metric =
+                obs::MetricsRegistry::global().counter(metric_name);
+        }
         sites[parts[0]] = std::move(site);
     }
 
@@ -103,8 +112,10 @@ FaultInjector::shouldFail(const char *site, uint64_t key)
         return false;
     const bool fail = s->threshold == ~0ull ||
         probeHash(s->seed, key) < s->threshold;
-    if (fail)
+    if (fail) {
         s->injected.fetch_add(1, std::memory_order_relaxed);
+        obs::MetricsRegistry::global().add(s->metric);
+    }
     return fail;
 }
 

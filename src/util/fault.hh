@@ -34,6 +34,8 @@
 #include <mutex>
 #include <string>
 
+#include "util/metrics.hh"
+
 namespace dse {
 namespace util {
 
@@ -82,6 +84,9 @@ class FaultInjector
         uint64_t seed = 0;
         std::atomic<uint64_t> autoKey{0};
         std::atomic<uint64_t> injected{0};
+        /** `faults.injected.<site>` counter; invalid (and never
+         *  bumped) when the site name fails the metric name rules. */
+        obs::CounterId metric;
     };
 
     Site *find(const char *site) const;

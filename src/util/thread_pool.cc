@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "util/env.hh"
+#include "util/metrics.hh"
 
 namespace dse {
 namespace util {
@@ -154,12 +155,28 @@ std::unique_ptr<ThreadPool> g_pool;
 
 } // namespace
 
+namespace {
+
+/** Record the global pool's width as the `pool.threads` gauge. */
+void
+recordPoolWidth(const ThreadPool &pool)
+{
+    auto &registry = obs::MetricsRegistry::global();
+    static const obs::GaugeId gauge = registry.gauge("pool.threads");
+    registry.setGauge(gauge,
+                      static_cast<int64_t>(pool.threadCount()));
+}
+
+} // namespace
+
 ThreadPool &
 ThreadPool::global()
 {
     std::lock_guard<std::mutex> lock(g_pool_mu);
-    if (!g_pool)
+    if (!g_pool) {
         g_pool = std::make_unique<ThreadPool>();
+        recordPoolWidth(*g_pool);
+    }
     return *g_pool;
 }
 
@@ -168,6 +185,7 @@ ThreadPool::resetGlobal(size_t threads)
 {
     std::lock_guard<std::mutex> lock(g_pool_mu);
     g_pool = std::make_unique<ThreadPool>(threads);
+    recordPoolWidth(*g_pool);
 }
 
 } // namespace util

@@ -1,0 +1,213 @@
+#include "util/trace.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include <unistd.h>
+
+namespace dse {
+namespace obs {
+
+namespace detail {
+
+std::atomic<int> traceMode{-1};
+
+uint64_t
+steadyNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+bool
+tracingEnabledSlow()
+{
+    // Resolve DSE_TRACE once: a set path arms the global collector
+    // and schedules an exit-time flush.
+    const char *path = std::getenv("DSE_TRACE");
+    if (path && *path) {
+        TraceCollector::global().start(path);
+    } else {
+        int expected = -1;
+        traceMode.compare_exchange_strong(expected, 0,
+                                          std::memory_order_relaxed);
+    }
+    return traceMode.load(std::memory_order_relaxed) != 0;
+}
+
+} // namespace detail
+
+namespace {
+
+struct Event
+{
+    const char *name;
+    uint32_t tid;
+    uint64_t startNs;
+    uint64_t durNs;
+};
+
+struct ThreadBuf
+{
+    uint32_t tid = 0;
+    std::vector<Event> events;
+};
+
+std::atomic<uint32_t> g_nextTid{1};
+/** Cache of this thread's buffer, keyed by owning collector impl so a
+ *  test-local collector never aliases the global one's buffer. */
+struct TlsBuf
+{
+    const void *owner = nullptr;
+    ThreadBuf *buf = nullptr;
+};
+thread_local std::vector<TlsBuf> t_bufs;
+
+} // namespace
+
+struct TraceCollector::Impl
+{
+    mutable std::mutex mu;  ///< guards bufs (list shape) and path
+    std::vector<std::unique_ptr<ThreadBuf>> bufs;
+    std::string path;
+    std::atomic<uint64_t> dropped{0};
+    std::atomic<bool> exitFlushArmed{false};
+};
+
+TraceCollector::TraceCollector() : impl_(std::make_unique<Impl>()) {}
+TraceCollector::~TraceCollector() = default;
+
+void
+TraceCollector::start(const std::string &path)
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->path = path;
+    }
+    detail::traceMode.store(1, std::memory_order_relaxed);
+    if (!impl_->exitFlushArmed.exchange(true))
+        std::atexit([] { TraceCollector::global().write(); });
+}
+
+void
+TraceCollector::stop()
+{
+    detail::traceMode.store(0, std::memory_order_relaxed);
+}
+
+void
+TraceCollector::record(const char *name, uint64_t start_ns,
+                       uint64_t dur_ns)
+{
+    ThreadBuf *buf = nullptr;
+    for (const auto &e : t_bufs) {
+        if (e.owner == impl_.get()) {
+            buf = e.buf;
+            break;
+        }
+    }
+    if (!buf) {
+        auto owned = std::make_unique<ThreadBuf>();
+        owned->tid = g_nextTid.fetch_add(1, std::memory_order_relaxed);
+        buf = owned.get();
+        {
+            std::lock_guard<std::mutex> lock(impl_->mu);
+            impl_->bufs.push_back(std::move(owned));
+        }
+        t_bufs.push_back({impl_.get(), buf});
+    }
+    if (buf->events.size() >= kMaxEventsPerThread) {
+        impl_->dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    buf->events.push_back({name, buf->tid, start_ns, dur_ns});
+}
+
+bool
+TraceCollector::writeTo(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "obs: cannot write trace to %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+    const int pid = static_cast<int>(::getpid());
+    bool first = true;
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const auto &buf : impl_->bufs) {
+        for (const auto &e : buf->events) {
+            std::fprintf(
+                f,
+                "%s\n{\"name\":\"%s\",\"cat\":\"dse\",\"ph\":\"X\","
+                "\"pid\":%d,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                first ? "" : ",", e.name, pid, e.tid,
+                static_cast<double>(e.startNs) / 1e3,
+                static_cast<double>(e.durNs) / 1e3);
+            first = false;
+        }
+    }
+    std::fputs("\n]}\n", f);
+    const bool ok = std::fflush(f) == 0 && !std::ferror(f);
+    std::fclose(f);
+    if (!ok)
+        std::fprintf(stderr, "obs: short trace write to %s\n",
+                     path.c_str());
+    return ok;
+}
+
+bool
+TraceCollector::write() const
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        path = impl_->path;
+    }
+    if (path.empty())
+        return false;
+    return writeTo(path);
+}
+
+void
+TraceCollector::clear()
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (auto &buf : impl_->bufs)
+        buf->events.clear();
+    impl_->dropped.store(0, std::memory_order_relaxed);
+}
+
+size_t
+TraceCollector::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    size_t n = 0;
+    for (const auto &buf : impl_->bufs)
+        n += buf->events.size();
+    return n;
+}
+
+uint64_t
+TraceCollector::droppedCount() const
+{
+    return impl_->dropped.load(std::memory_order_relaxed);
+}
+
+TraceCollector &
+TraceCollector::global()
+{
+    // Leaked deliberately: the atexit flush and worker threads may
+    // outlive static destruction order.
+    static TraceCollector *collector = new TraceCollector();
+    return *collector;
+}
+
+} // namespace obs
+} // namespace dse

@@ -628,6 +628,76 @@ TEST_F(FaultsIo, AdversarialHeadersFailCleanly)
     expect_reject(good.substr(0, good.size() * 3 / 4));
 }
 
+/** FNV-1a over @p n bytes — must match the hash io.cc checksums
+ *  model files with, so tests can forge a *valid* trailer around a
+ *  tampered body. */
+uint64_t
+fnv1aHash(const char *data, size_t n)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= static_cast<uint8_t>(data[i]);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+TEST_F(FaultsIo, NegativePathsRaiseTheirOwnDocumentedErrors)
+{
+    const auto model = smallTrainedEnsemble();
+    const std::string path = tmpPath("negative_model.txt");
+    ml::saveEnsemble(path, model);
+    const std::string good = readFile(path);
+
+    const auto load_error = [&](const std::string &bytes) {
+        writeFile(path, bytes);
+        try {
+            ml::loadEnsemble(path);
+            return std::string("(loaded)");
+        } catch (const std::runtime_error &e) {
+            return std::string(e.what());
+        }
+    };
+
+    // 1. Zero-byte file: its own error, not a parse failure.
+    EXPECT_NE(load_error("").find("ensemble file is empty"),
+              std::string::npos);
+
+    // 2. A flipped digit inside the checksum trailer itself: the body
+    //    is intact, but the stored hash no longer matches — reported
+    //    as corruption, distinct from truncation.
+    {
+        const size_t tag_at = good.rfind("checksum ");
+        ASSERT_NE(tag_at, std::string::npos);
+        std::string bad = good;
+        char &digit = bad[tag_at + 9];
+        digit = digit == '0' ? '1' : '0';
+        EXPECT_NE(load_error(bad).find("corrupt (checksum mismatch)"),
+                  std::string::npos);
+    }
+
+    // 3. Oversized member count with a *recomputed, valid* trailer:
+    //    the checksum passes, so the member-count bound itself must
+    //    reject the file.
+    {
+        const size_t tag_at = good.rfind("checksum ");
+        std::string body = good.substr(0, tag_at);
+        const size_t at = body.find("members ");
+        ASSERT_NE(at, std::string::npos);
+        body.replace(at, body.find('\n', at) - at, "members 5000");
+        char trailer[32];
+        std::snprintf(trailer, sizeof(trailer), "checksum %016llx\n",
+                      static_cast<unsigned long long>(
+                          fnv1aHash(body.data(), body.size())));
+        EXPECT_NE(load_error(body + trailer).find("bad member count"),
+                  std::string::npos);
+    }
+
+    // A clean save still loads after all that tampering.
+    ml::saveEnsemble(path, model);
+    EXPECT_NO_THROW(ml::loadEnsemble(path));
+}
+
 // ---------------------------------------------------------------------
 // Thread-pool exception containment.
 // ---------------------------------------------------------------------

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Journal truncation fuzz: a 50-record journal is cut at EVERY byte
+ * offset, reopened, and replayed — the torn-tail rule (journal.hh)
+ * must hold exactly at each cut: whole records before the cut replay
+ * verbatim and in order, a trailing partial record is reported as a
+ * torn tail and dropped, and a file cut inside the header is refused.
+ * Also: one-byte corruption inside each record body rejects exactly
+ * that record, and a truncated journal accepts new appends after the
+ * tail is dropped.
+ *
+ * Suites are named Faults* and live in the dse_fault_tests binary
+ * (label `faults`), so the sanitizer presets cover this file too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "study/journal.hh"
+
+namespace dse {
+namespace {
+
+std::string
+fuzzPath(const std::string &name)
+{
+    std::string path = "/tmp/dse_journal_fuzz_" + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+std::string
+readBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+void
+writeBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+constexpr auto kKind = study::StudyKind::MemorySystem;
+constexpr const char *kApp = "gzip";
+constexpr uint64_t kTraceLen = 4096;
+constexpr uint64_t kRecords = 50;
+
+/** Synthetic but fully populated result for record @p i. */
+sim::SimResult
+syntheticResult(uint64_t i)
+{
+    sim::SimResult r{};
+    r.cycles = 1000 + i;
+    r.instructions = 2000 + 3 * i;
+    r.ipc = 0.25 + 0.001 * static_cast<double>(i);
+    r.l1dMissRate = 0.01 * static_cast<double>(i % 7);
+    r.l2MissRate = 0.02;
+    r.l1iMissRate = 0.001;
+    r.branchMispredictRate = 0.05;
+    r.l1dAccesses = 100 + i;
+    r.l1dMisses = i;
+    r.l2Accesses = 50 + i;
+    r.l2Misses = i / 2;
+    r.l1iAccesses = 10 + i;
+    r.l1iMisses = i % 3;
+    r.branches = 30 + i;
+    r.branchMispredicts = i % 5;
+    return r;
+}
+
+/** Write a complete kRecords-record journal, returning (bytes,
+ *  header length). */
+std::pair<std::string, size_t>
+buildJournal(const std::string &path)
+{
+    size_t header_len = 0;
+    {
+        study::SimJournal j(path, kKind, kApp, kTraceLen);
+        header_len = readBytes(path).size();
+        for (uint64_t i = 0; i < kRecords; ++i)
+            j.append(i, syntheticResult(i));
+    }
+    return {readBytes(path), header_len};
+}
+
+using FaultsJournalFuzz = ::testing::Test;
+
+TEST_F(FaultsJournalFuzz, TruncationAtEveryByteOffset)
+{
+    const auto [full, header_len] = buildJournal(fuzzPath("build"));
+    ASSERT_EQ(full.size(),
+              header_len + kRecords * study::SimJournal::kRecordSize);
+
+    const std::string cut_path = fuzzPath("cut");
+    for (size_t len = 0; len <= full.size(); ++len) {
+        writeBytes(cut_path, full.substr(0, len));
+
+        if (len == 0) {
+            // Empty file: reopening writes a fresh header — a valid,
+            // empty journal.
+            study::SimJournal j(cut_path, kKind, kApp, kTraceLen);
+            const auto stats = j.replay(
+                [](uint64_t, const sim::SimResult &) { FAIL(); });
+            EXPECT_EQ(stats.replayed, 0u);
+            EXPECT_FALSE(stats.tornTail);
+            continue;
+        }
+        if (len < header_len) {
+            // A cut inside the header must be refused outright: the
+            // file's identity cannot be verified.
+            EXPECT_THROW(
+                study::SimJournal(cut_path, kKind, kApp, kTraceLen),
+                std::runtime_error)
+                << "cut at " << len;
+            continue;
+        }
+
+        study::SimJournal j(cut_path, kKind, kApp, kTraceLen);
+        std::vector<std::pair<uint64_t, sim::SimResult>> got;
+        const auto stats =
+            j.replay([&](uint64_t index, const sim::SimResult &r) {
+                got.emplace_back(index, r);
+            });
+
+        const size_t body = len - header_len;
+        const size_t whole = body / study::SimJournal::kRecordSize;
+        EXPECT_EQ(stats.replayed, whole) << "cut at " << len;
+        EXPECT_EQ(stats.rejected, 0u) << "cut at " << len;
+        EXPECT_EQ(stats.tornTail,
+                  body % study::SimJournal::kRecordSize != 0)
+            << "cut at " << len;
+
+        // Replay is exactly the prefix, verbatim and in order.
+        ASSERT_EQ(got.size(), whole) << "cut at " << len;
+        for (size_t i = 0; i < whole; ++i) {
+            EXPECT_EQ(got[i].first, i);
+            const auto want = syntheticResult(i);
+            EXPECT_EQ(got[i].second.cycles, want.cycles);
+            EXPECT_EQ(got[i].second.instructions, want.instructions);
+            EXPECT_EQ(got[i].second.ipc, want.ipc);
+            EXPECT_EQ(got[i].second.l1dMisses, want.l1dMisses);
+            EXPECT_EQ(got[i].second.branchMispredicts,
+                      want.branchMispredicts);
+        }
+    }
+}
+
+TEST_F(FaultsJournalFuzz, AppendAfterTornTailExtendsTheValidPrefix)
+{
+    const auto [full, header_len] = buildJournal(fuzzPath("append_src"));
+    const std::string cut_path = fuzzPath("append_cut");
+
+    // Sample cut offsets across the body (every offset is covered by
+    // the truncation test above; here each reopened journal also takes
+    // a new append and must replay it after a second reopen).
+    for (size_t len = header_len; len <= full.size(); len += 97) {
+        writeBytes(cut_path, full.substr(0, len));
+        const size_t whole =
+            (len - header_len) / study::SimJournal::kRecordSize;
+        {
+            study::SimJournal j(cut_path, kKind, kApp, kTraceLen);
+            j.replay([](uint64_t, const sim::SimResult &) {});
+            j.append(9999, syntheticResult(9999));
+        }
+        study::SimJournal j(cut_path, kKind, kApp, kTraceLen);
+        std::vector<uint64_t> indices;
+        const auto stats =
+            j.replay([&](uint64_t index, const sim::SimResult &) {
+                indices.push_back(index);
+            });
+        EXPECT_EQ(stats.replayed, whole + 1) << "cut at " << len;
+        EXPECT_FALSE(stats.tornTail) << "cut at " << len;
+        ASSERT_FALSE(indices.empty());
+        EXPECT_EQ(indices.back(), 9999u) << "cut at " << len;
+    }
+}
+
+TEST_F(FaultsJournalFuzz, SingleByteCorruptionRejectsExactlyThatRecord)
+{
+    const auto [full, header_len] = buildJournal(fuzzPath("corrupt_src"));
+    const std::string path = fuzzPath("corrupt");
+    const size_t rec = study::SimJournal::kRecordSize;
+
+    for (uint64_t victim = 0; victim < kRecords; ++victim) {
+        std::string bytes = full;
+        // Flip one byte mid-record (offset 13 lands inside the cycles
+        // field for every record).
+        bytes[header_len + victim * rec + 13] ^= 0x5a;
+        writeBytes(path, bytes);
+
+        study::SimJournal j(path, kKind, kApp, kTraceLen);
+        std::vector<uint64_t> indices;
+        const auto stats =
+            j.replay([&](uint64_t index, const sim::SimResult &) {
+                indices.push_back(index);
+            });
+        EXPECT_EQ(stats.replayed, kRecords - 1) << "victim " << victim;
+        EXPECT_EQ(stats.rejected, 1u) << "victim " << victim;
+        EXPECT_FALSE(stats.tornTail);
+        // Every record except the victim replays, still in order.
+        ASSERT_EQ(indices.size(), kRecords - 1);
+        size_t at = 0;
+        for (uint64_t i = 0; i < kRecords; ++i) {
+            if (i == victim)
+                continue;
+            EXPECT_EQ(indices[at++], i);
+        }
+    }
+}
+
+} // namespace
+} // namespace dse

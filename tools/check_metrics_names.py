@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Lint the dse::obs metric namespace.
+
+Scans the C++ sources for literal metric registrations --
+``.counter("...")``, ``.gauge("...")``, ``.histogram("...")`` -- and
+enforces the naming scheme documented in src/util/metrics.hh and
+DESIGN.md ("Observability"):
+
+* every name matches ``^[a-z0-9_.]+$``;
+* every name has a subsystem prefix (at least one ``.``);
+* no name is registered under two different metric kinds.
+
+Re-registering the same (name, kind) from several sites is fine -- the
+registry returns the same series -- so only cross-kind collisions are
+errors. Runs as the ObsMetricNamesLint ctest; exits nonzero with one
+line per violation.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+NAME_RE = re.compile(r"^[a-z0-9_.]+$")
+# .counter("sim.executed") / .gauge("...") / .histogram("...") on a
+# registry object; whitespace/newlines may separate the call pieces.
+REG_RE = re.compile(
+    r"\.\s*(counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"\s*\)")
+# tests/ is excluded deliberately: the obs suite registers
+# intentionally-invalid names to prove registration rejects them.
+SCAN_DIRS = ("src", "bench", "tools")
+SUFFIXES = {".cc", ".hh"}
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__).resolve().parent.parent
+    failures = []
+    kinds = {}  # name -> (kind, first site)
+
+    for scan in SCAN_DIRS:
+        base = root / scan
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SUFFIXES:
+                continue
+            text = path.read_text(encoding="utf-8", errors="replace")
+            for match in REG_RE.finditer(text):
+                kind, name = match.group(1), match.group(2)
+                line = text.count("\n", 0, match.start()) + 1
+                site = f"{path.relative_to(root)}:{line}"
+                if not NAME_RE.fullmatch(name):
+                    failures.append(
+                        f"{site}: metric name '{name}' does not match "
+                        "^[a-z0-9_.]+$")
+                    continue
+                if "." not in name:
+                    failures.append(
+                        f"{site}: metric name '{name}' lacks a "
+                        "subsystem prefix (expected 'subsystem.name')")
+                if name in kinds and kinds[name][0] != kind:
+                    failures.append(
+                        f"{site}: '{name}' registered as {kind} but "
+                        f"already a {kinds[name][0]} at "
+                        f"{kinds[name][1]}")
+                kinds.setdefault(name, (kind, site))
+
+    if not kinds:
+        failures.append("no metric registrations found -- "
+                        "scan roots or regex are stale")
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        return 1
+    print(f"ok: {len(kinds)} distinct metric names")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@
 #include "ml/explorer.hh"
 #include "ml/io.hh"
 #include "study/harness.hh"
+#include "util/metrics.hh"
 #include "workload/profile.hh"
 
 using namespace dse;
@@ -46,6 +47,8 @@ struct Options
     std::string loadModel;
     std::vector<uint64_t> predictIndices;
     int maxEpochs = 5000;
+    bool metrics = false;
+    std::string metricsPath;  ///< empty = table on stdout
 };
 
 void
@@ -66,6 +69,8 @@ usage()
         "  --predict=<index>          predict a design point (repeat)\n"
         "  --describe-space           print the space and exit\n"
         "  --list-apps                print benchmark names and exit\n"
+        "  --metrics[=path]           collect dse::obs metrics; print a\n"
+        "                             table, or write JSON to <path>\n"
         "exit codes: 0 ok, 1 bad usage, 2 invalid input (unknown app/\n"
         "index/model contents), 3 runtime or I/O failure, 4 internal");
 }
@@ -115,6 +120,11 @@ parse(int argc, char **argv, Options &opts)
         } else if (parseArg(arg, "--predict", value)) {
             opts.predictIndices.push_back(
                 static_cast<uint64_t>(std::atoll(value.c_str())));
+        } else if (std::strcmp(arg, "--metrics") == 0) {
+            opts.metrics = true;
+        } else if (parseArg(arg, "--metrics", value)) {
+            opts.metrics = true;
+            opts.metricsPath = value;
         } else if (std::strcmp(arg, "--simpoint") == 0) {
             opts.simpoint = true;
         } else if (std::strcmp(arg, "--active") == 0) {
@@ -192,6 +202,9 @@ run(int argc, char **argv)
         return 1;
     }
 
+    if (opts.metrics)
+        obs::setMetricsEnabled(true);
+
     if (opts.listApps) {
         for (const auto &name : workload::benchmarkNames())
             std::puts(name.c_str());
@@ -248,6 +261,9 @@ run(int argc, char **argv)
     }
     for (uint64_t idx : opts.predictIndices)
         printPoint(ctx, *model, idx);
+
+    if (opts.metrics)
+        obs::reportGlobalMetrics(opts.metricsPath);
     return 0;
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "study/harness.hh"
+#include "util/metrics.hh"
 #include "util/table.hh"
 
 using namespace dse;
@@ -31,7 +32,10 @@ usage()
     std::puts(
         "usage: dse_sim [--study=memory|processor] [--app=<name>]\n"
         "               [--index=<n> | Param=value ...] [--simpoint]\n"
+        "               [--metrics[=path]]\n"
         "Runs one detailed simulation and prints its statistics.\n"
+        "--metrics collects dse::obs metrics and prints them as a\n"
+        "table (or writes JSON to <path>) before exiting.\n"
         "Param=value entries override the space's middle point; use\n"
         "dse_explore --describe-space for names and levels.\n"
         "exit codes: 0 ok, 1 bad usage, 2 invalid input, 3 runtime\n"
@@ -65,6 +69,8 @@ run(int argc, char **argv)
     std::string app = "gzip";
     bool use_simpoint = false;
     bool have_index = false;
+    bool metrics = false;
+    std::string metrics_path;
     uint64_t index = 0;
     std::vector<std::pair<std::string, std::string>> overrides;
 
@@ -82,6 +88,11 @@ run(int argc, char **argv)
             have_index = true;
         } else if (arg == "--simpoint") {
             use_simpoint = true;
+        } else if (arg == "--metrics") {
+            metrics = true;
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            metrics = true;
+            metrics_path = arg.substr(10);
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -96,6 +107,9 @@ run(int argc, char **argv)
             return 1;
         }
     }
+
+    if (metrics)
+        obs::setMetricsEnabled(true);
 
     study::StudyContext ctx(kind, app);
     const auto &space = ctx.space();
@@ -165,6 +179,11 @@ run(int argc, char **argv)
                     est, 100.0 * std::abs(est - r.ipc) / r.ipc,
                     ctx.simPointInstructionsPerEstimate(),
                     ctx.trace().size());
+    }
+
+    if (metrics) {
+        std::printf("\n");
+        obs::reportGlobalMetrics(metrics_path);
     }
     return 0;
 }
