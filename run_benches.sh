@@ -77,6 +77,47 @@ for b in build/bench/*; do
     fi
     echo
 done
+# Prediction-service throughput: start dse_serve on an ephemeral port
+# with a small self-trained model, drive it with the closed-loop load
+# generator, and archive the latency/throughput report the same way as
+# the gbench JSON. The model quality is irrelevant here — the bench
+# measures the wire + batching + predictBatch path.
+echo "===================================================================="
+echo "== serve (dse_serve + dse_loadgen)"
+echo "===================================================================="
+if [ -x build/tools/dse_serve ] && [ -x build/tools/dse_loadgen ]; then
+    port_file=$(mktemp)
+    rm -f "$port_file"
+    build/tools/dse_serve --study=memory --app=gzip --train \
+        --max-sims=120 --max-epochs=800 --port=0 \
+        --port-file="$port_file" &
+    serve_pid=$!
+    # The port file appears once the socket is listening (training
+    # happens first and dominates startup).
+    for _ in $(seq 1 600); do
+        [ -s "$port_file" ] && break
+        kill -0 "$serve_pid" 2>/dev/null || break
+        sleep 0.5
+    done
+    if [ -s "$port_file" ] &&
+        timeout 600 build/tools/dse_loadgen --port-file="$port_file" \
+            --connections=8 --requests=20000 --points=1 \
+            --json=BENCH_serve.json.tmp &&
+        check_bench_json BENCH_serve.json.tmp; then
+        mv BENCH_serve.json.tmp BENCH_serve.json
+    else
+        echo "BENCH FAILED: serve" >&2
+        rm -f BENCH_serve.json.tmp
+        failed=1
+    fi
+    kill -TERM "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+    rm -f "$port_file"
+else
+    echo "serve tools not built; skipping" >&2
+fi
+echo
+
 if [ "$failed" -ne 0 ]; then
     echo "one or more benches failed" >&2
     exit 1

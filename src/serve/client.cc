@@ -1,0 +1,277 @@
+#include "serve/client.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dse {
+namespace serve {
+
+namespace {
+
+[[noreturn]] void
+transportError(const std::string &what)
+{
+    throw ServeError(ErrCode::Internal, what);
+}
+
+} // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      timeoutMs_(other.timeoutMs_),
+      nextId_(other.nextId_),
+      rx_(std::move(other.rx_))
+{}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        timeoutMs_ = other.timeoutMs_;
+        nextId_ = other.nextId_;
+        rx_ = std::move(other.rx_);
+    }
+    return *this;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    rx_.clear();
+}
+
+void
+Client::connect(const std::string &host, uint16_t port, int timeout_ms)
+{
+    close();
+
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(port);
+    std::string addr = host;
+    if (addr == "localhost")
+        addr = "127.0.0.1";
+    if (inet_pton(AF_INET, addr.c_str(), &sin.sin_addr) != 1)
+        transportError("bad address '" + host + "'");
+
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        transportError("socket() failed");
+
+    // Nonblocking connect with a poll deadline so an unreachable
+    // server fails fast.
+    const int flags = fcntl(fd_, F_GETFL, 0);
+    fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd_, reinterpret_cast<sockaddr *>(&sin),
+                       sizeof(sin));
+    if (rc != 0 && errno == EINPROGRESS) {
+        pollfd pfd{fd_, POLLOUT, 0};
+        rc = poll(&pfd, 1, timeout_ms);
+        if (rc <= 0) {
+            close();
+            transportError("connect timeout to " + host + ":" +
+                           std::to_string(port));
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+            close();
+            transportError(std::string("connect failed: ") +
+                           std::strerror(err));
+        }
+    } else if (rc != 0) {
+        const std::string err = std::strerror(errno);
+        close();
+        transportError("connect failed: " + err);
+    }
+    const int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void
+Client::sendRaw(const void *data, size_t n)
+{
+    if (fd_ < 0)
+        transportError("not connected");
+    const char *p = static_cast<const char *>(data);
+    size_t off = 0;
+    while (off < n) {
+        const ssize_t w = write(fd_, p + off, n - off);
+        if (w > 0) {
+            off += static_cast<size_t>(w);
+            continue;
+        }
+        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            pollfd pfd{fd_, POLLOUT, 0};
+            if (poll(&pfd, 1, timeoutMs_) <= 0)
+                transportError("send timeout");
+            continue;
+        }
+        if (w < 0 && errno == EINTR)
+            continue;
+        transportError(std::string("send failed: ") +
+                       std::strerror(errno));
+    }
+}
+
+uint64_t
+Client::sendFrame(MsgType type, std::string_view payload)
+{
+    const uint64_t id = nextId_++;
+    const std::string frame = encodeFrame(type, id, payload);
+    sendRaw(frame.data(), frame.size());
+    return id;
+}
+
+std::optional<Frame>
+Client::recvFrame()
+{
+    if (fd_ < 0)
+        transportError("not connected");
+    char buf[65536];
+    for (;;) {
+        Frame frame;
+        size_t consumed = 0;
+        const DecodeStatus st = decodeFrame(
+            rx_.data(), rx_.size(), kDefaultMaxPayload, frame, consumed);
+        if (st == DecodeStatus::Frame) {
+            rx_.erase(0, consumed);
+            return frame;
+        }
+        if (st != DecodeStatus::NeedMore)
+            transportError("corrupt frame from server");
+
+        pollfd pfd{fd_, POLLIN, 0};
+        const int rc = poll(&pfd, 1, timeoutMs_);
+        if (rc == 0)
+            transportError("receive timeout");
+        if (rc < 0 && errno != EINTR)
+            transportError("poll failed");
+        const ssize_t n = read(fd_, buf, sizeof(buf));
+        if (n == 0)
+            return std::nullopt;  // orderly EOF
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                errno == EINTR)
+                continue;
+            transportError(std::string("recv failed: ") +
+                           std::strerror(errno));
+        }
+        rx_.append(buf, static_cast<size_t>(n));
+    }
+}
+
+Frame
+Client::expectReply(uint64_t id, MsgType want)
+{
+    for (;;) {
+        auto frame = recvFrame();
+        if (!frame)
+            transportError("server closed the connection");
+        if (frame->id != id && frame->id != 0)
+            continue;  // stale reply from an abandoned request
+        if (frame->type == MsgType::Error) {
+            ErrorReply err;
+            if (!ErrorReply::decode(frame->payload, err))
+                transportError("undecodable error reply");
+            throw ServeError(err.code, err.message);
+        }
+        if (frame->type != want)
+            transportError("unexpected reply type");
+        return *std::move(frame);
+    }
+}
+
+void
+Client::ping()
+{
+    const uint64_t id = sendFrame(MsgType::Ping, "dse");
+    const Frame reply = expectReply(id, MsgType::Pong);
+    if (reply.payload != "dse")
+        transportError("ping payload not echoed");
+}
+
+ModelInfoReply
+Client::loadModel(const LoadModelRequest &req)
+{
+    const uint64_t id = sendFrame(MsgType::LoadModel, req.encode());
+    const Frame reply = expectReply(id, MsgType::ModelLoaded);
+    ModelInfoReply info;
+    if (!ModelInfoReply::decode(reply.payload, info))
+        transportError("undecodable ModelLoaded reply");
+    return info;
+}
+
+std::vector<double>
+Client::predictPoints(const double *x, size_t n, size_t width)
+{
+    PredictPointsRequest req;
+    req.width = static_cast<uint32_t>(width);
+    req.x.assign(x, x + n * width);
+    const uint64_t id =
+        sendFrame(MsgType::PredictPoints, req.encode());
+    const Frame reply = expectReply(id, MsgType::Predictions);
+    PredictionsReply pred;
+    if (!PredictionsReply::decode(reply.payload, pred) ||
+        pred.y.size() != n)
+        transportError("undecodable Predictions reply");
+    return std::move(pred.y);
+}
+
+std::vector<double>
+Client::predictRange(uint64_t first, uint64_t count)
+{
+    const uint64_t id = sendFrame(
+        MsgType::PredictRange, PredictRangeRequest{first, count}.encode());
+    const Frame reply = expectReply(id, MsgType::Predictions);
+    PredictionsReply pred;
+    if (!PredictionsReply::decode(reply.payload, pred))
+        transportError("undecodable Predictions reply");
+    return std::move(pred.y);
+}
+
+ModelInfoReply
+Client::modelInfo()
+{
+    const uint64_t id = sendFrame(MsgType::ModelInfo, "");
+    const Frame reply = expectReply(id, MsgType::ModelInfoReply);
+    ModelInfoReply info;
+    if (!ModelInfoReply::decode(reply.payload, info))
+        transportError("undecodable ModelInfo reply");
+    return info;
+}
+
+StatsReply
+Client::stats()
+{
+    const uint64_t id = sendFrame(MsgType::Stats, "");
+    const Frame reply = expectReply(id, MsgType::StatsReply);
+    StatsReply s;
+    if (!StatsReply::decode(reply.payload, s))
+        transportError("undecodable Stats reply");
+    return s;
+}
+
+} // namespace serve
+} // namespace dse

@@ -1,0 +1,414 @@
+#include "serve/protocol.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace dse {
+namespace serve {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline void
+putLe(std::string &out, uint64_t v, size_t bytes)
+{
+    for (size_t i = 0; i < bytes; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline uint64_t
+getLe(const char *p, size_t bytes)
+{
+    uint64_t v = 0;
+    for (size_t i = 0; i < bytes; ++i)
+        v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i]))
+            << (8 * i);
+    return v;
+}
+
+} // namespace
+
+uint64_t
+fnv1a64(const void *data, size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint64_t h = kFnvOffset;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+const char *
+errCodeName(ErrCode code)
+{
+    switch (code) {
+      case ErrCode::None: return "none";
+      case ErrCode::BadFrame: return "bad_frame";
+      case ErrCode::BadChecksum: return "bad_checksum";
+      case ErrCode::FrameTooLarge: return "frame_too_large";
+      case ErrCode::BadRequest: return "bad_request";
+      case ErrCode::NoModel: return "no_model";
+      case ErrCode::BadIndex: return "bad_index";
+      case ErrCode::Overloaded: return "overloaded";
+      case ErrCode::ShuttingDown: return "shutting_down";
+      case ErrCode::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+// ---------------------------------------------------------------- writer
+
+void
+WireWriter::u16(uint16_t v)
+{
+    putLe(buf_, v, 2);
+}
+
+void
+WireWriter::u32(uint32_t v)
+{
+    putLe(buf_, v, 4);
+}
+
+void
+WireWriter::u64(uint64_t v)
+{
+    putLe(buf_, v, 8);
+}
+
+void
+WireWriter::f64(double v)
+{
+    putLe(buf_, std::bit_cast<uint64_t>(v), 8);
+}
+
+void
+WireWriter::str(std::string_view s)
+{
+    u32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+}
+
+void
+WireWriter::raw(const void *data, size_t n)
+{
+    buf_.append(static_cast<const char *>(data), n);
+}
+
+// ---------------------------------------------------------------- reader
+
+bool
+WireReader::take(size_t n, const char **out)
+{
+    if (!ok_ || n > n_ - off_) {
+        ok_ = false;
+        return false;
+    }
+    *out = p_ + off_;
+    off_ += n;
+    return true;
+}
+
+uint8_t
+WireReader::u8()
+{
+    const char *p;
+    return take(1, &p) ? static_cast<uint8_t>(getLe(p, 1)) : 0;
+}
+
+uint16_t
+WireReader::u16()
+{
+    const char *p;
+    return take(2, &p) ? static_cast<uint16_t>(getLe(p, 2)) : 0;
+}
+
+uint32_t
+WireReader::u32()
+{
+    const char *p;
+    return take(4, &p) ? static_cast<uint32_t>(getLe(p, 4)) : 0;
+}
+
+uint64_t
+WireReader::u64()
+{
+    const char *p;
+    return take(8, &p) ? getLe(p, 8) : 0;
+}
+
+double
+WireReader::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+std::string
+WireReader::str()
+{
+    const uint32_t n = u32();
+    const char *p;
+    if (!take(n, &p))
+        return {};
+    return std::string(p, n);
+}
+
+void
+WireReader::raw(void *out, size_t n)
+{
+    const char *p;
+    if (take(n, &p))
+        std::memcpy(out, p, n);
+    else
+        std::memset(out, 0, n);
+}
+
+// ---------------------------------------------------------------- framing
+
+std::string
+encodeFrame(MsgType type, uint64_t id, std::string_view payload)
+{
+    std::string frame;
+    frame.reserve(kHeaderSize + payload.size());
+    putLe(frame, kMagic, 4);
+    putLe(frame, kProtocolVersion, 2);
+    putLe(frame, static_cast<uint16_t>(type), 2);
+    putLe(frame, id, 8);
+    putLe(frame, static_cast<uint32_t>(payload.size()), 4);
+    putLe(frame, 0, 4);  // reserved
+    putLe(frame, fnv1a64(payload.data(), payload.size()), 8);
+    putLe(frame, fnv1a64(frame.data(), 32), 8);
+    frame.append(payload.data(), payload.size());
+    return frame;
+}
+
+DecodeStatus
+decodeFrame(const char *data, size_t len, size_t max_payload, Frame &out,
+            size_t &consumed)
+{
+    consumed = 0;
+    if (len < kHeaderSize)
+        return DecodeStatus::NeedMore;
+
+    // Authenticate the header before trusting any field in it.
+    const uint64_t header_sum = getLe(data + 32, 8);
+    if (fnv1a64(data, 32) != header_sum)
+        return DecodeStatus::BadHeader;
+    if (getLe(data, 4) != kMagic ||
+        getLe(data + 4, 2) != kProtocolVersion || getLe(data + 20, 4) != 0)
+        return DecodeStatus::BadHeader;
+
+    out.type = static_cast<MsgType>(getLe(data + 6, 2));
+    out.id = getLe(data + 8, 8);
+    const uint64_t payload_len = getLe(data + 16, 4);
+    if (payload_len > max_payload)
+        return DecodeStatus::TooLarge;
+    if (len < kHeaderSize + payload_len)
+        return DecodeStatus::NeedMore;
+
+    const char *payload = data + kHeaderSize;
+    if (fnv1a64(payload, payload_len) != getLe(data + 24, 8)) {
+        // The header (and therefore payload_len) is authentic, so the
+        // stream stays in sync: drop exactly this frame.
+        consumed = kHeaderSize + payload_len;
+        out.payload.clear();
+        return DecodeStatus::BadPayload;
+    }
+    out.payload.assign(payload, payload_len);
+    consumed = kHeaderSize + payload_len;
+    return DecodeStatus::Frame;
+}
+
+// ---------------------------------------------------------------- payloads
+
+std::string
+LoadModelRequest::encode() const
+{
+    WireWriter w;
+    w.str(path);
+    w.u8(hasStudy ? 1 : 0);
+    w.u8(study);
+    w.str(app);
+    w.u8(train ? 1 : 0);
+    w.u32(maxSims);
+    w.u32(maxEpochs);
+    return w.take();
+}
+
+bool
+LoadModelRequest::decode(std::string_view payload, LoadModelRequest &out)
+{
+    WireReader r(payload);
+    out.path = r.str();
+    out.hasStudy = r.u8() != 0;
+    out.study = r.u8();
+    out.app = r.str();
+    out.train = r.u8() != 0;
+    out.maxSims = r.u32();
+    out.maxEpochs = r.u32();
+    return r.atEnd();
+}
+
+std::string
+PredictPointsRequest::encode() const
+{
+    WireWriter w;
+    w.u32(static_cast<uint32_t>(points()));
+    w.u32(width);
+    for (double v : x)
+        w.f64(v);
+    return w.take();
+}
+
+bool
+PredictPointsRequest::decode(std::string_view payload,
+                             PredictPointsRequest &out)
+{
+    WireReader r(payload);
+    const uint32_t n = r.u32();
+    out.width = r.u32();
+    if (!r.ok() || out.width == 0 || n == 0)
+        return false;
+    // The element count is bounded by the frame-size cap, but check
+    // against the remaining bytes before allocating anyway.
+    const uint64_t elems = static_cast<uint64_t>(n) * out.width;
+    if (elems * 8 != r.remaining())
+        return false;
+    out.x.resize(elems);
+    for (auto &v : out.x)
+        v = r.f64();
+    return r.atEnd();
+}
+
+std::string
+PredictRangeRequest::encode() const
+{
+    WireWriter w;
+    w.u64(first);
+    w.u64(count);
+    return w.take();
+}
+
+bool
+PredictRangeRequest::decode(std::string_view payload,
+                            PredictRangeRequest &out)
+{
+    WireReader r(payload);
+    out.first = r.u64();
+    out.count = r.u64();
+    return r.atEnd();
+}
+
+std::string
+PredictionsReply::encode() const
+{
+    WireWriter w;
+    w.u32(static_cast<uint32_t>(y.size()));
+    for (double v : y)
+        w.f64(v);
+    return w.take();
+}
+
+bool
+PredictionsReply::decode(std::string_view payload, PredictionsReply &out)
+{
+    WireReader r(payload);
+    const uint32_t n = r.u32();
+    if (!r.ok() || static_cast<uint64_t>(n) * 8 != r.remaining())
+        return false;
+    out.y.resize(n);
+    for (auto &v : out.y)
+        v = r.f64();
+    return r.atEnd();
+}
+
+std::string
+ModelInfoReply::encode() const
+{
+    WireWriter w;
+    w.u32(members);
+    w.u32(inputs);
+    w.u32(outputs);
+    w.f64(estMeanPct);
+    w.f64(estSdPct);
+    w.u8(degraded ? 1 : 0);
+    w.u64(spaceSize);
+    w.str(study);
+    w.str(app);
+    return w.take();
+}
+
+bool
+ModelInfoReply::decode(std::string_view payload, ModelInfoReply &out)
+{
+    WireReader r(payload);
+    out.members = r.u32();
+    out.inputs = r.u32();
+    out.outputs = r.u32();
+    out.estMeanPct = r.f64();
+    out.estSdPct = r.f64();
+    out.degraded = r.u8() != 0;
+    out.spaceSize = r.u64();
+    out.study = r.str();
+    out.app = r.str();
+    return r.atEnd();
+}
+
+std::string
+StatsReply::encode() const
+{
+    WireWriter w;
+    w.u64(requests);
+    w.u64(predictions);
+    w.u64(batchedRequests);
+    w.u64(overloaded);
+    w.u64(protocolErrors);
+    w.u64(bytesRx);
+    w.u64(bytesTx);
+    w.u64(connectionsAccepted);
+    w.u64(activeConnections);
+    w.u64(queueDepth);
+    return w.take();
+}
+
+bool
+StatsReply::decode(std::string_view payload, StatsReply &out)
+{
+    WireReader r(payload);
+    out.requests = r.u64();
+    out.predictions = r.u64();
+    out.batchedRequests = r.u64();
+    out.overloaded = r.u64();
+    out.protocolErrors = r.u64();
+    out.bytesRx = r.u64();
+    out.bytesTx = r.u64();
+    out.connectionsAccepted = r.u64();
+    out.activeConnections = r.u64();
+    out.queueDepth = r.u64();
+    return r.atEnd();
+}
+
+std::string
+ErrorReply::encode() const
+{
+    WireWriter w;
+    w.u16(static_cast<uint16_t>(code));
+    w.str(message);
+    return w.take();
+}
+
+bool
+ErrorReply::decode(std::string_view payload, ErrorReply &out)
+{
+    WireReader r(payload);
+    out.code = static_cast<ErrCode>(r.u16());
+    out.message = r.str();
+    return r.atEnd();
+}
+
+} // namespace serve
+} // namespace dse

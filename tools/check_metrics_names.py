@@ -12,8 +12,16 @@ DESIGN.md ("Observability"):
 
 Re-registering the same (name, kind) from several sites is fine -- the
 registry returns the same series -- so only cross-kind collisions are
-errors. Runs as the ObsMetricNamesLint ctest; exits nonzero with one
-line per violation.
+errors.
+
+Also lints the fault-injection namespace: every literal
+``shouldFail("site", ...)`` probe must name a site from the allowlist
+below, which doubles as the documentation of record for DSE_FAULTS --
+a typo'd site would silently never fire, so an unknown one is an
+error here rather than a dead knob in production.
+
+Runs as the ObsMetricNamesLint ctest; exits nonzero with one line per
+violation.
 """
 
 import re
@@ -25,6 +33,20 @@ NAME_RE = re.compile(r"^[a-z0-9_.]+$")
 # registry object; whitespace/newlines may separate the call pieces.
 REG_RE = re.compile(
     r"\.\s*(counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"\s*\)")
+# shouldFail("sim", key) probes; DOTALL because call sites split the
+# arguments across lines.
+FAULT_RE = re.compile(r"shouldFail\s*\(\s*\"([^\"]*)\"", re.DOTALL)
+# Every fault-injection site that exists in the sources. Adding a
+# probe means adding its site here (and to the DSE_FAULTS docs).
+FAULT_SITES = {
+    "sim",           # simulator execution (study/harness.cc)
+    "fold",          # cross-validation fold training (ml)
+    "journal",       # journal appends (study/journal.cc)
+    "save",          # model save I/O (ml/io.cc)
+    "serve.accept",  # prediction-service accept path
+    "serve.read",    # prediction-service socket reads
+    "serve.write",   # prediction-service socket writes
+}
 # tests/ is excluded deliberately: the obs suite registers
 # intentionally-invalid names to prove registration rejects them.
 SCAN_DIRS = ("src", "bench", "tools")
@@ -45,6 +67,16 @@ def main() -> int:
             if path.suffix not in SUFFIXES:
                 continue
             text = path.read_text(encoding="utf-8", errors="replace")
+            if "util/fault" not in str(path):
+                for match in FAULT_RE.finditer(text):
+                    site_name = match.group(1)
+                    line = text.count("\n", 0, match.start()) + 1
+                    site = f"{path.relative_to(root)}:{line}"
+                    if site_name not in FAULT_SITES:
+                        failures.append(
+                            f"{site}: fault site '{site_name}' is not "
+                            "in the allowlist (FAULT_SITES in "
+                            "check_metrics_names.py)")
             for match in REG_RE.finditer(text):
                 kind, name = match.group(1), match.group(2)
                 line = text.count("\n", 0, match.start()) + 1

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Closed-loop load generator for the prediction service: N client
+ * threads, one connection each, issuing back-to-back PredictPoints
+ * (or PredictRange) requests and recording per-request latency.
+ * Reports p50/p95/p99/mean latency and request/prediction throughput;
+ * --json emits the google-benchmark-shaped file run_benches.sh
+ * archives as BENCH_serve.json.
+ *
+ * Examples:
+ *   dse_loadgen --port=7070 --connections=8 --requests=5000
+ *   dse_loadgen --port-file=/tmp/port --points=16 --duration=5
+ *   dse_loadgen --port=7070 --range=256 --json=BENCH_serve.json
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hh"
+
+using namespace dse;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Options
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    std::string portFile;
+    size_t connections = 4;
+    size_t requests = 2000;  ///< per connection (0 = until duration)
+    size_t points = 1;       ///< points per PredictPoints request
+    size_t range = 0;        ///< nonzero: PredictRange of this count
+    double durationS = 0;    ///< nonzero: time-bounded instead
+    std::string jsonPath;
+};
+
+void
+usage()
+{
+    std::puts(
+        "usage: dse_loadgen [options]\n"
+        "  --host=<ip>           server address (default 127.0.0.1)\n"
+        "  --port=<n>            server port\n"
+        "  --port-file=<path>    read the port from a file (dse_serve\n"
+        "                        --port-file)\n"
+        "  --connections=<n>     concurrent client connections (4)\n"
+        "  --requests=<n>        requests per connection (2000)\n"
+        "  --points=<n>          points per PredictPoints request (1)\n"
+        "  --range=<n>           use PredictRange of this count instead\n"
+        "  --duration=<sec>      run for a fixed time instead of a\n"
+        "                        fixed request count\n"
+        "  --json=<path>         write a benchmark-format JSON report\n"
+        "exit codes: 0 ok, 1 bad usage, 2 invalid input, 3 runtime\n"
+        "failure, 4 internal");
+}
+
+bool
+parseArg(const char *arg, const char *name, std::string &out)
+{
+    const size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+        out = arg + len + 1;
+        return true;
+    }
+    return false;
+}
+
+bool
+parse(int argc, char **argv, Options &opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string value;
+        const char *arg = argv[i];
+        if (parseArg(arg, "--host", value)) {
+            opts.host = value;
+        } else if (parseArg(arg, "--port", value)) {
+            opts.port = static_cast<uint16_t>(std::atoi(value.c_str()));
+        } else if (parseArg(arg, "--port-file", value)) {
+            opts.portFile = value;
+        } else if (parseArg(arg, "--connections", value)) {
+            opts.connections =
+                static_cast<size_t>(std::atoll(value.c_str()));
+        } else if (parseArg(arg, "--requests", value)) {
+            opts.requests =
+                static_cast<size_t>(std::atoll(value.c_str()));
+        } else if (parseArg(arg, "--points", value)) {
+            opts.points = static_cast<size_t>(std::atoll(value.c_str()));
+        } else if (parseArg(arg, "--range", value)) {
+            opts.range = static_cast<size_t>(std::atoll(value.c_str()));
+        } else if (parseArg(arg, "--duration", value)) {
+            opts.durationS = std::atof(value.c_str());
+        } else if (parseArg(arg, "--json", value)) {
+            opts.jsonPath = value;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage();
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg);
+            return false;
+        }
+    }
+    if (opts.connections == 0 || opts.points == 0) {
+        std::fprintf(stderr, "--connections/--points must be > 0\n");
+        return false;
+    }
+    return true;
+}
+
+struct WorkerResult
+{
+    std::vector<uint64_t> latenciesNs;
+    uint64_t requests = 0;
+    uint64_t predictions = 0;
+    uint64_t errors = 0;
+};
+
+double
+percentile(std::vector<uint64_t> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = p / 100.0 *
+        static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+        static_cast<double>(sorted[hi]) * frac;
+}
+
+int
+run(int argc, char **argv)
+{
+    Options opts;
+    if (!parse(argc, argv, opts)) {
+        usage();
+        return 1;
+    }
+    if (!opts.portFile.empty()) {
+        FILE *f = std::fopen(opts.portFile.c_str(), "r");
+        if (!f)
+            throw std::invalid_argument("cannot read port file " +
+                                        opts.portFile);
+        unsigned p = 0;
+        if (std::fscanf(f, "%u", &p) != 1 || p == 0 || p > 65535) {
+            std::fclose(f);
+            throw std::invalid_argument("bad port file contents");
+        }
+        std::fclose(f);
+        opts.port = static_cast<uint16_t>(p);
+    }
+    if (opts.port == 0)
+        throw std::invalid_argument("--port or --port-file required");
+
+    // Probe the model once: feature width for PredictPoints payloads,
+    // space size to bound PredictRange offsets.
+    serve::Client probe;
+    probe.connect(opts.host, opts.port);
+    const auto info = probe.modelInfo();
+    if (info.inputs == 0)
+        throw std::invalid_argument("server has no model loaded");
+    if (opts.range > 0 && info.spaceSize == 0)
+        throw std::invalid_argument(
+            "--range needs a server-side design space");
+    probe.close();
+    const size_t width = info.inputs;
+
+    std::vector<WorkerResult> results(opts.connections);
+    std::vector<std::thread> threads;
+    std::atomic<bool> deadline{false};
+
+    const auto t0 = Clock::now();
+    for (size_t c = 0; c < opts.connections; ++c) {
+        threads.emplace_back([&, c] {
+            WorkerResult &res = results[c];
+            serve::Client client;
+            try {
+                client.connect(opts.host, opts.port);
+            } catch (const std::exception &) {
+                ++res.errors;
+                return;
+            }
+            // Deterministic per-connection feature pattern inside the
+            // encoder's [0,1] range; values only need to be valid,
+            // not meaningful, to exercise the prediction path.
+            std::vector<double> x(opts.points * width);
+            for (size_t i = 0; i < x.size(); ++i)
+                x[i] = static_cast<double>((i * 2654435761u + c) %
+                                           1000) /
+                    999.0;
+            res.latenciesNs.reserve(
+                opts.requests ? opts.requests : 65536);
+            for (size_t r = 0; opts.requests == 0 || r < opts.requests;
+                 ++r) {
+                if (deadline.load(std::memory_order_relaxed))
+                    break;
+                const auto start = Clock::now();
+                try {
+                    if (opts.range > 0) {
+                        const uint64_t first =
+                            (r * opts.range) %
+                            (info.spaceSize - opts.range + 1);
+                        client.predictRange(first, opts.range);
+                        res.predictions += opts.range;
+                    } else {
+                        client.predictPoints(x.data(), opts.points,
+                                             width);
+                        res.predictions += opts.points;
+                    }
+                } catch (const serve::ServeError &e) {
+                    // Overloaded is the server doing its job; retry.
+                    if (e.code() == serve::ErrCode::Overloaded) {
+                        ++res.errors;
+                        continue;
+                    }
+                    ++res.errors;
+                    break;
+                }
+                const auto ns =
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - start)
+                        .count();
+                res.latenciesNs.push_back(static_cast<uint64_t>(ns));
+                ++res.requests;
+            }
+        });
+    }
+    if (opts.durationS > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(opts.durationS));
+        deadline.store(true, std::memory_order_relaxed);
+    }
+    for (auto &t : threads)
+        t.join();
+    const double wallS =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    std::vector<uint64_t> all;
+    uint64_t requests = 0, predictions = 0, errors = 0;
+    for (auto &res : results) {
+        all.insert(all.end(), res.latenciesNs.begin(),
+                   res.latenciesNs.end());
+        requests += res.requests;
+        predictions += res.predictions;
+        errors += res.errors;
+    }
+    if (requests == 0)
+        throw std::runtime_error("no request completed");
+    std::sort(all.begin(), all.end());
+
+    const double p50 = percentile(all, 50), p95 = percentile(all, 95),
+                 p99 = percentile(all, 99);
+    double mean = 0;
+    for (uint64_t v : all)
+        mean += static_cast<double>(v);
+    mean /= static_cast<double>(all.size());
+    const double rps = static_cast<double>(requests) / wallS;
+    const double pps = static_cast<double>(predictions) / wallS;
+
+    std::printf("%zu connections, %llu requests, %llu predictions "
+                "in %.2fs (%llu errors)\n",
+                opts.connections,
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(predictions), wallS,
+                static_cast<unsigned long long>(errors));
+    std::printf("throughput: %.0f req/s, %.0f predictions/s\n", rps,
+                pps);
+    std::printf("latency us: p50 %.1f  p95 %.1f  p99 %.1f  mean %.1f\n",
+                p50 / 1e3, p95 / 1e3, p99 / 1e3, mean / 1e3);
+
+    if (!opts.jsonPath.empty()) {
+        FILE *f = std::fopen(opts.jsonPath.c_str(), "w");
+        if (!f)
+            throw std::runtime_error("cannot write " + opts.jsonPath);
+        const std::string name = opts.range > 0
+            ? "serve/predict_range/" + std::to_string(opts.range)
+            : "serve/predict_points/" + std::to_string(opts.points);
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"context\": {\n"
+            "    \"executable\": \"dse_loadgen\",\n"
+            "    \"connections\": %zu,\n"
+            "    \"points_per_request\": %zu\n"
+            "  },\n"
+            "  \"benchmarks\": [\n"
+            "    {\n"
+            "      \"name\": \"%s\",\n"
+            "      \"run_type\": \"iteration\",\n"
+            "      \"iterations\": %llu,\n"
+            "      \"real_time\": %.1f,\n"
+            "      \"cpu_time\": %.1f,\n"
+            "      \"time_unit\": \"ns\",\n"
+            "      \"requests_per_second\": %.1f,\n"
+            "      \"predictions_per_second\": %.1f,\n"
+            "      \"latency_p50_ns\": %.1f,\n"
+            "      \"latency_p95_ns\": %.1f,\n"
+            "      \"latency_p99_ns\": %.1f,\n"
+            "      \"errors\": %llu\n"
+            "    }\n"
+            "  ]\n"
+            "}\n",
+            opts.connections, opts.points, name.c_str(),
+            static_cast<unsigned long long>(requests), mean, mean, rps,
+            pps, p50, p95, p99,
+            static_cast<unsigned long long>(errors));
+        std::fclose(f);
+        std::printf("report written to %s\n", opts.jsonPath.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "dse_loadgen: invalid input: %s\n",
+                     e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "dse_loadgen: error: %s\n", e.what());
+        return 3;
+    } catch (...) {
+        std::fprintf(stderr, "dse_loadgen: unknown fatal error\n");
+        return 4;
+    }
+}

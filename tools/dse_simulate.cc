@@ -7,9 +7,9 @@
  * predictive models learn.
  *
  * Examples:
- *   dse_sim --study=memory --app=mcf --index=12345
- *   dse_sim --study=processor --app=gzip Width=8 FreqGHz=2
- *   dse_sim --study=memory --app=twolf --simpoint --index=7
+ *   dse_simulate --study=memory --app=mcf --index=12345
+ *   dse_simulate --study=processor --app=gzip Width=8 FreqGHz=2
+ *   dse_simulate --study=memory --app=twolf --simpoint --index=7
  */
 
 #include <cstdio>
@@ -30,7 +30,7 @@ void
 usage()
 {
     std::puts(
-        "usage: dse_sim [--study=memory|processor] [--app=<name>]\n"
+        "usage: dse_simulate [--study=memory|processor] [--app=<name>]\n"
         "               [--index=<n> | Param=value ...] [--simpoint]\n"
         "               [--metrics[=path]]\n"
         "Runs one detailed simulation and prints its statistics.\n"
@@ -198,13 +198,13 @@ main(int argc, char **argv)
     try {
         return run(argc, argv);
     } catch (const std::invalid_argument &e) {
-        std::fprintf(stderr, "dse_sim: invalid input: %s\n", e.what());
+        std::fprintf(stderr, "dse_simulate: invalid input: %s\n", e.what());
         return 2;
     } catch (const std::exception &e) {
-        std::fprintf(stderr, "dse_sim: error: %s\n", e.what());
+        std::fprintf(stderr, "dse_simulate: error: %s\n", e.what());
         return 3;
     } catch (...) {
-        std::fprintf(stderr, "dse_sim: unknown fatal error\n");
+        std::fprintf(stderr, "dse_simulate: unknown fatal error\n");
         return 4;
     }
 }
