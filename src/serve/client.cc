@@ -117,7 +117,9 @@ Client::sendRaw(const void *data, size_t n)
     const char *p = static_cast<const char *>(data);
     size_t off = 0;
     while (off < n) {
-        const ssize_t w = write(fd_, p + off, n - off);
+        // MSG_NOSIGNAL: a dropped peer must raise EPIPE through
+        // transportError, not SIGPIPE the host process.
+        const ssize_t w = send(fd_, p + off, n - off, MSG_NOSIGNAL);
         if (w > 0) {
             off += static_cast<size_t>(w);
             continue;

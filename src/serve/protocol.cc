@@ -273,10 +273,11 @@ PredictPointsRequest::decode(std::string_view payload,
     out.width = r.u32();
     if (!r.ok() || out.width == 0 || n == 0)
         return false;
-    // The element count is bounded by the frame-size cap, but check
-    // against the remaining bytes before allocating anyway.
+    // Validate the element count against the remaining bytes without
+    // multiplying by 8: n*width can reach 2^64/8, so `elems * 8` could
+    // wrap and let a tiny hostile frame pass as a huge allocation.
     const uint64_t elems = static_cast<uint64_t>(n) * out.width;
-    if (elems * 8 != r.remaining())
+    if (r.remaining() % 8 != 0 || elems != r.remaining() / 8)
         return false;
     out.x.resize(elems);
     for (auto &v : out.x)

@@ -72,11 +72,9 @@ setNonBlocking(int fd)
 size_t
 peekPointCount(const std::string &payload)
 {
-    if (payload.size() < 4)
-        return 1;
-    uint32_t n = 0;
-    std::memcpy(&n, payload.data(), 4);
-    return n ? n : 1;
+    WireReader r(payload);
+    const uint32_t n = r.u32();
+    return (r.ok() && n) ? n : 1;
 }
 
 } // namespace
@@ -433,7 +431,7 @@ Server::acceptPending()
                            "connection limit reached"}
                     .encode());
             [[maybe_unused]] ssize_t r =
-                write(fd, frame.data(), frame.size());
+                send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
             close(fd);
             counters_.overloaded.fetch_add(1);
             continue;
@@ -601,7 +599,10 @@ Server::flushWritable(const std::shared_ptr<Conn> &conn)
         closeConn(conn);
         return;
     }
-    const ssize_t n = write(conn->fd, conn->tx.data(), conn->tx.size());
+    // MSG_NOSIGNAL: a peer reset between poll() and the send must
+    // surface as EPIPE, not kill embedders that never ignore SIGPIPE.
+    const ssize_t n = send(conn->fd, conn->tx.data(), conn->tx.size(),
+                           MSG_NOSIGNAL);
     if (n > 0) {
         conn->tx.erase(0, static_cast<size_t>(n));
         conn->writeBlockedSinceNs = 0;
@@ -760,10 +761,20 @@ Server::workerLoop()
     while (popBatch(batch)) {
         if (batch.empty())
             continue;
-        if (batch[0].frame.type == MsgType::PredictPoints)
-            handlePredictPoints(batch);
-        else
-            handleOne(batch[0]);
+        // No handler exception may escape the worker thread: an
+        // escaped throw would std::terminate the whole server off one
+        // hostile frame. Decoders are designed not to throw, but a
+        // resize/alloc failure still must die as a structured error.
+        try {
+            if (batch[0].frame.type == MsgType::PredictPoints)
+                handlePredictPoints(batch);
+            else
+                handleOne(batch[0]);
+        } catch (const std::exception &e) {
+            for (auto &req : batch)
+                sendError(req.conn, req.frame.id, ErrCode::Internal,
+                          std::string("request failed: ") + e.what());
+        }
         for (auto &req : batch)
             req.conn->inflight.fetch_sub(1);
         wakeIo();
@@ -824,6 +835,17 @@ Server::handlePredictPoints(std::vector<Request> &group)
     std::vector<double> y(total);
     state->ensemble->predictBatch(x.data(), total, y.data());
 
+    // Count before replying: a client that has its reply in hand may
+    // immediately ask for Stats, and the counters must already cover
+    // every answered prediction (the reconciliation tests rely on it).
+    counters_.predictions.fetch_add(total);
+    registry.add(ServeMetrics::get().predictions, total);
+    registry.observe(ServeMetrics::get().batchPoints, total);
+    if (valid.size() > 1) {
+        counters_.batchedRequests.fetch_add(valid.size() - 1);
+        registry.add(ServeMetrics::get().batched, valid.size() - 1);
+    }
+
     size_t off = 0;
     for (const auto &d : valid) {
         PredictionsReply reply;
@@ -833,13 +855,6 @@ Server::handlePredictPoints(std::vector<Request> &group)
         off += d.points.points();
         sendReply(d.req->conn, MsgType::Predictions, d.req->frame.id,
                   reply.encode());
-    }
-    counters_.predictions.fetch_add(total);
-    registry.add(ServeMetrics::get().predictions, total);
-    registry.observe(ServeMetrics::get().batchPoints, total);
-    if (valid.size() > 1) {
-        counters_.batchedRequests.fetch_add(valid.size() - 1);
-        registry.add(ServeMetrics::get().batched, valid.size() - 1);
     }
 }
 

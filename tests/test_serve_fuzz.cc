@@ -212,6 +212,34 @@ TEST_F(ServeFuzz, OversizedDeclaredLengthIsRefusedBeforeBuffering)
     assertControlAlive();
 }
 
+TEST_F(ServeFuzz, PointCountOverflowIsRejected)
+{
+    // n * width = 2^61, so the naive size check `elems * 8` wraps to
+    // 0 mod 2^64 and matches an empty remainder — the decode must
+    // reject it outright instead of attempting a 2^61-element resize
+    // (which would throw on a worker thread and kill the server).
+    serve::WireWriter w;
+    w.u32(0x80000000u);  // n     = 2^31
+    w.u32(0x40000000u);  // width = 2^30
+    const std::string payload = w.take();
+
+    serve::PredictPointsRequest decoded;
+    EXPECT_FALSE(serve::PredictPointsRequest::decode(payload, decoded));
+
+    const std::string frame = serve::encodeFrame(
+        serve::MsgType::PredictPoints, 31, payload);
+    auto client = attacker();
+    client.sendRaw(frame.data(), frame.size());
+    auto reply = client.recvFrame();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, serve::MsgType::Error);
+    serve::ErrorReply err;
+    ASSERT_TRUE(serve::ErrorReply::decode(reply->payload, err));
+    EXPECT_EQ(err.code, serve::ErrCode::BadRequest);
+    EXPECT_EQ(reply->id, 31u);
+    assertControlAlive();
+}
+
 TEST_F(ServeFuzz, GarbageSplicedMidStream)
 {
     // valid frame | garbage | valid frame, one write: the first frame
