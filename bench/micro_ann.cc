@@ -51,6 +51,35 @@ BM_AnnTrainStep(benchmark::State &state)
 }
 
 void
+BM_AnnTrainEpoch(benchmark::State &state)
+{
+    // The fused epoch pipeline as trainEnsemble drives it: packed
+    // example matrices, a drawn presentation order, one trainEpoch
+    // call per epoch. Compare items/s against BM_AnnTrainStep for the
+    // win from the epoch loop itself (no per-row vector indirection).
+    Rng rng(2);
+    ml::AnnParams p;
+    p.hiddenUnits = static_cast<int>(state.range(0));
+    p.learningRate = 0.1;
+    ml::Ann net(16, 1, p, rng);
+    const size_t rows = 256;
+    std::vector<double> x(rows * 16);
+    std::vector<double> t(rows);
+    for (auto &v : x)
+        v = rng.uniform();
+    for (auto &v : t)
+        v = 0.2 + 0.6 * rng.uniform();
+    std::vector<uint32_t> order(rows);
+    for (auto &o : order)
+        o = static_cast<uint32_t>(rng.below(rows));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            net.trainEpoch(x.data(), t.data(), order.data(), rows));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(rows));
+}
+
+void
 BM_AnnPredictBatch(benchmark::State &state)
 {
     // Blocked batched forward over a block's worth of points: the
@@ -147,6 +176,7 @@ BM_TraceGeneration(benchmark::State &state)
 
 BENCHMARK(BM_AnnForward)->Arg(16)->Arg(32);
 BENCHMARK(BM_AnnTrainStep)->Arg(16)->Arg(32);
+BENCHMARK(BM_AnnTrainEpoch)->Arg(16)->Arg(32);
 BENCHMARK(BM_AnnPredictBatch)->Arg(64)->Arg(1024);
 BENCHMARK(BM_EnsemblePredictSpace)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(8);

@@ -69,6 +69,21 @@ for b in build/bench/*; do
     elif [ -n "$out" ]; then
         if check_bench_json "$out.tmp"; then
             mv "$out.tmp" "$out"
+            # Advisory regression diff against the committed baseline
+            # (tools/bench_compare.py, same gate ctest runs
+            # parse-only). Advisory because this host's load differs
+            # from the baseline host's — a FAIL here means "look
+            # before committing the refreshed numbers", not "the run
+            # is broken".
+            if [ "$out" = "BENCH_ann.json" ] &&
+                command -v python3 >/dev/null 2>&1 &&
+                git show "HEAD:$out" >"$out.base" 2>/dev/null; then
+                python3 tools/bench_compare.py "$out.base" "$out" \
+                    --bench 'BM_AnnTrainStep/.*' \
+                    --bench 'BM_EnsemblePredictSpace' ||
+                    echo "ADVISORY: $out regressed vs HEAD baseline" >&2
+                rm -f "$out.base"
+            fi
         else
             echo "BENCH OUTPUT INVALID: $out.tmp (kept $out)" >&2
             rm -f "$out.tmp"

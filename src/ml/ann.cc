@@ -309,35 +309,6 @@ layerForwardBatch(const double *__restrict w, int in, int out,
 }
 
 /**
- * Hidden-layer deltas: d[i] = (sum_j w[i][j] dnext[j]) o_i (1 - o_i),
- * reading the next layer's input-major weight rows unit-stride.
- * Deliberately NOT ISA-cloned: the dominant shape is out == 1 (one
- * delta chain per output unit), where the plain scalar loop both
- * inlines and vectorizes over i, while the cloned vectorizer
- * pessimizes the tiny inner reduction badly (measured ~7x).
- */
-inline void
-backpropDeltas(const double *__restrict w, int in, int out,
-               const double *__restrict act,
-               const double *__restrict dnext, double *__restrict d)
-{
-    if (out == 1) {
-        const double dn0 = dnext[0];
-        for (int i = 0; i < in; ++i) {
-            const double oi = act[i];
-            d[i] = (w[i] * dn0) * oi * (1.0 - oi);
-        }
-        return;
-    }
-    for (int i = 0; i < in; ++i) {
-        const double sum =
-            dot4(w + static_cast<size_t>(i) * out, dnext, out);
-        const double oi = act[i];
-        d[i] = sum * oi * (1.0 - oi);
-    }
-}
-
-/**
  * Momentum weight update (Equation 3.2) for a single-output layer,
  * whose weight column is contiguous: one unit-stride pass over
  * [in + 1] weights. Plain for the same reason as layerForwardOne.
@@ -391,6 +362,133 @@ updateLayer(double *__restrict w, double *__restrict dw, int in, int out,
         wb[j] += update;
         dwb[j] = update;
     }
+}
+
+/**
+ * Fused delta backprop + momentum update (Equation 3.2) for a
+ * single-output layer, whose weight column is contiguous: one
+ * unit-stride pass over [in + 1] weights reads each weight pre-update
+ * to form the incoming delta d[i], then applies the update to that
+ * same weight before moving on — exactly backpropDeltas followed by
+ * updateLayerOne, with half the weight-arena traffic. The layer's
+ * input vector IS the previous layer's activation vector, so @p act
+ * serves both the sigmoid derivative (o_i (1 - o_i)) and the update's
+ * x_i. Plain for the same reason as layerForwardOne.
+ */
+inline void
+fusedBackUpdateOne(double *__restrict w, double *__restrict dw, int in,
+                   const double *__restrict act, double dn0,
+                   double *__restrict d, double eta, double alpha)
+{
+    const double g0 = eta * dn0;
+    for (int i = 0; i < in; ++i) {
+        const double oi = act[i];
+        d[i] = (w[i] * dn0) * oi * (1.0 - oi);
+        const double update = g0 * oi + alpha * dw[i];
+        w[i] += update;
+        dw[i] = update;
+    }
+    const double update = g0 + alpha * dw[in];
+    w[in] += update;
+    dw[in] = update;
+}
+
+/**
+ * Body of the fused backprop + update for a multi-unit layer: per
+ * input row i, the pre-update weight row forms the incoming delta
+ * (dot4 against the layer's own deltas — the exact backpropDeltas
+ * arithmetic), then the same row takes the Equation-3.2 momentum
+ * update (the exact updateLayer arithmetic, g[j] = eta * d[j]
+ * precomputed into @p g). Each [(in + 1) x out] slab of the weight
+ * and momentum arenas is therefore touched once per example instead
+ * of twice. Always-inlined into ISA-cloned wrappers like the forward
+ * kernels; the fixed-width wrappers pass stack g rows.
+ */
+__attribute__((always_inline)) inline void
+fusedBackUpdateWideBody(double *__restrict w, double *__restrict dw,
+                        int in, int out, const double *__restrict act,
+                        const double *__restrict dnext,
+                        double *__restrict d, double eta, double alpha,
+                        double *__restrict g)
+{
+    const size_t o = static_cast<size_t>(out);
+    for (int j = 0; j < out; ++j)
+        g[j] = eta * dnext[j];
+    for (int i = 0; i < in; ++i) {
+        double *wr = w + static_cast<size_t>(i) * o;
+        double *dwr = dw + static_cast<size_t>(i) * o;
+        const double sum = dot4(wr, dnext, out);
+        const double oi = act[i];
+        d[i] = sum * oi * (1.0 - oi);
+        for (int j = 0; j < out; ++j) {
+            const double update = g[j] * oi + alpha * dwr[j];
+            wr[j] += update;
+            dwr[j] = update;
+        }
+    }
+    double *wb = w + static_cast<size_t>(in) * o;
+    double *dwb = dw + static_cast<size_t>(in) * o;
+    for (int j = 0; j < out; ++j) {
+        const double update = g[j] + alpha * dwb[j];
+        wb[j] += update;
+        dwb[j] = update;
+    }
+}
+
+DSE_TARGET_CLONES void
+fusedBackUpdateWide(double *__restrict w, double *__restrict dw, int in,
+                    int out, const double *__restrict act,
+                    const double *__restrict dnext, double *__restrict d,
+                    double eta, double alpha, double *__restrict g)
+{
+    fusedBackUpdateWideBody(w, dw, in, out, act, dnext, d, eta, alpha, g);
+}
+
+/** Fixed-width clone: the paper's default hidden width. */
+DSE_TARGET_CLONES void
+fusedBackUpdateWide16(double *__restrict w, double *__restrict dw, int in,
+                      const double *__restrict act,
+                      const double *__restrict dnext,
+                      double *__restrict d, double eta, double alpha)
+{
+    double g[16];
+    fusedBackUpdateWideBody(w, dw, in, 16, act, dnext, d, eta, alpha, g);
+}
+
+/** Fixed-width clone: the benchmarked double-width variant. */
+DSE_TARGET_CLONES void
+fusedBackUpdateWide32(double *__restrict w, double *__restrict dw, int in,
+                      const double *__restrict act,
+                      const double *__restrict dnext,
+                      double *__restrict d, double eta, double alpha)
+{
+    double g[32];
+    fusedBackUpdateWideBody(w, dw, in, 32, act, dnext, d, eta, alpha, g);
+}
+
+/**
+ * Fused backward+update for one layer, dispatched by width with the
+ * same discipline as the forward pass: out == 1 stays plain (the
+ * dominant shape — one delta chain per output unit — where cloning
+ * pessimizes the tiny reduction ~7x), the fixed 16/32 widths and the
+ * runtime width are ISA-cloned. Every target computes backpropDeltas'
+ * and updateLayer's exact per-element arithmetic, so which one runs
+ * is invisible in the results.
+ */
+inline void
+fusedBackUpdate(double *__restrict w, double *__restrict dw, int in,
+                int out, const double *__restrict act,
+                const double *__restrict dnext, double *__restrict d,
+                double eta, double alpha, double *__restrict g)
+{
+    if (out == 1)
+        fusedBackUpdateOne(w, dw, in, act, dnext[0], d, eta, alpha);
+    else if (out == 16)
+        fusedBackUpdateWide16(w, dw, in, act, dnext, d, eta, alpha);
+    else if (out == 32)
+        fusedBackUpdateWide32(w, dw, in, act, dnext, d, eta, alpha);
+    else
+        fusedBackUpdateWide(w, dw, in, out, act, dnext, d, eta, alpha, g);
 }
 
 /**
@@ -557,9 +655,27 @@ Ann::train(const std::vector<double> &input,
 {
     assert(static_cast<int>(input.size()) == inputs_);
     assert(static_cast<int>(target.size()) == outputs_);
-    const double *x = input.data();
+    return trainEpoch(input.data(), target.data(), nullptr, 1);
+}
 
-    // Forward, into the member activation arena (train() owns it;
+double
+Ann::trainEpoch(const double *x, const double *t, const uint32_t *order,
+                size_t rows)
+{
+    const size_t in = static_cast<size_t>(inputs_);
+    const size_t out = static_cast<size_t>(outputs_);
+    double sum = 0.0;
+    for (size_t r = 0; r < rows; ++r) {
+        const size_t row = order ? order[r] : r;
+        sum += trainExample(x + row * in, t + row * out);
+    }
+    return sum;
+}
+
+double
+Ann::trainExample(const double *x, const double *t)
+{
+    // Forward, into the member activation arena (training owns it;
     // const predictions use per-thread scratch instead).
     double *acc = kernelScratch(4 * static_cast<size_t>(maxWidth_));
     const double *cur = x;
@@ -578,37 +694,45 @@ Ann::train(const std::vector<double> &input,
         double *d = delta_.data() + layer.act;
         for (int j = 0; j < outputs_; ++j) {
             const double oj = o[j];
-            const double err = target[static_cast<size_t>(j)] - oj;
+            const double err = t[j] - oj;
             sq_error += err * err;
             d[j] = err * oj * (1.0 - oj);
         }
     }
 
-    // Hidden deltas, back to front, reading each next layer's
-    // input-major weight rows unit-stride.
-    for (size_t l = layers_.size() - 1; l-- > 0;) {
-        const Layer &next = layers_[l + 1];
-        backpropDeltas(w_.data() + next.w, next.in, next.out,
-                       act_.data() + layers_[l].act,
-                       delta_.data() + next.act,
-                       delta_.data() + layers_[l].act);
-    }
-
-    // Weight updates with momentum (Equation 3.2); the forward pass
-    // is done with acc, so it doubles as the g = eta * d scratch.
+    // Fused backward sweep, back to front (DESIGN.md, "Training
+    // pipeline"): visiting layer l, its deltas are already known, so
+    // each of its weight rows is read exactly once — forming row i's
+    // contribution to the previous layer's delta from the pre-update
+    // weights — and the Equation-3.2 momentum update lands on that
+    // row in the same pass. Every delta still sees pre-update weights
+    // and every weight sees the same operands as the historical
+    // backprop-then-update loops (layer updates are independent of
+    // each other), so the fusion is bit-invisible; it just halves the
+    // weight- and momentum-arena traffic. acc doubles as the
+    // g = eta * d scratch, as in the old update loop.
     const double eta = params_.learningRate;
     const double alpha = params_.momentum;
-    for (size_t l = 0; l < layers_.size(); ++l) {
+    for (size_t l = layers_.size(); l-- > 1;) {
         const Layer &layer = layers_[l];
-        const double *in_act =
-            l == 0 ? x : act_.data() + layers_[l - 1].act;
+        fusedBackUpdate(w_.data() + layer.w, dwPrev_.data() + layer.w,
+                        layer.in, layer.out,
+                        act_.data() + layers_[l - 1].act,
+                        delta_.data() + layer.act,
+                        delta_.data() + layers_[l - 1].act, eta, alpha,
+                        acc);
+    }
+
+    // The first layer reads the example input and feeds no earlier
+    // deltas: plain update.
+    {
+        const Layer &layer = layers_.front();
         if (layer.out == 1) {
             updateLayerOne(w_.data() + layer.w, dwPrev_.data() + layer.w,
-                           layer.in, in_act, delta_[layer.act], eta,
-                           alpha);
+                           layer.in, x, delta_[layer.act], eta, alpha);
         } else {
             updateLayer(w_.data() + layer.w, dwPrev_.data() + layer.w,
-                        layer.in, layer.out, in_act,
+                        layer.in, layer.out, x,
                         delta_.data() + layer.act, eta, alpha, acc);
         }
     }

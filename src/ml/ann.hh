@@ -21,7 +21,11 @@
  * checkpoint formats are unchanged. Prediction also has a blocked
  * batched path (predictBatch / predictBlockT) that streams each
  * layer's weights once per block of up to kBlock design points and is
- * bit-for-bit identical to the single-point path.
+ * bit-for-bit identical to the single-point path. Training is a fused
+ * epoch pipeline (trainEpoch): delta backprop and the momentum update
+ * run as one back-to-front arena sweep per example, and the
+ * presentation loop sweeps packed row-major example matrices — see
+ * DESIGN.md, "Training pipeline".
  */
 
 #ifndef DSE_ML_ANN_HH
@@ -197,6 +201,29 @@ class Ann
     double train(const std::vector<double> &input,
                  const std::vector<double> &target);
 
+    /**
+     * One epoch of stochastic gradient descent over packed example
+     * matrices: @p x is row-major [rows_needed x inputs()], @p t is
+     * row-major [rows_needed x outputs()], and presentation p trains
+     * on example row order[p] (rows when @p order is null, i.e. the
+     * in-place order). @p order entries may repeat and need not cover
+     * every row — weighted presentation (Section 3.3) draws rows with
+     * replacement — they only have to index valid rows of @p x/@p t.
+     *
+     * Per presentation this is exactly train() — same forward, same
+     * fused backward+update sweep, same error accumulation order — so
+     * the returned summed squared error and every weight are
+     * bit-for-bit identical to the equivalent sequence of train()
+     * calls. What the epoch form buys is the loop itself: no per-row
+     * std::vector indirection or asserts, examples streamed from two
+     * flat buffers (see trainEnsemble, which packs each fold once).
+     *
+     * @return the sum of per-example squared errors (pre-update),
+     *         accumulated in presentation order
+     */
+    double trainEpoch(const double *x, const double *t,
+                      const uint32_t *order, size_t rows);
+
     /** True once any training step produced a non-finite error. */
     bool diverged() const { return diverged_; }
 
@@ -235,6 +262,9 @@ class Ann
         size_t w = 0;    ///< offset into w_/dwPrev_: [(in + 1) x out]
         size_t act = 0;  ///< offset into act_/delta_: [out]
     };
+
+    /** One presentation: forward + fused backward/update sweep. */
+    double trainExample(const double *x, const double *t);
 
     int inputs_;
     int outputs_;

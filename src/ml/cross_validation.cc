@@ -273,7 +273,7 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
     // loss or weights). The happy path consumes the RNG stream
     // exactly as it always has, so healthy training is bit-identical
     // to the pre-retry implementation.
-    auto attempt_fold = [&](size_t mi, uint64_t seed) {
+    auto attempt_fold = [&](size_t mi, uint64_t seed, bool scan_weights) {
         const int m = static_cast<int>(mi);
         // Model m: ES fold = (m + k - 1) % k, test fold = m, train on
         // the rest (Figure 3.3's rotation).
@@ -295,10 +295,26 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
         const auto cdf = presentationCdf(data, train_rows,
                                          opts.weightedPresentation);
 
+        // Pack the fold's training rows once: epochs sweep two flat
+        // row-major buffers instead of chasing data.x[row] vectors,
+        // and targets are encoded here rather than on every
+        // presentation of every epoch (encode() is a pure function of
+        // the fitted scaler, so hoisting it is bit-invisible).
+        const size_t n_rows = train_rows.size();
+        const size_t in_w = static_cast<size_t>(inputs);
+        std::vector<double> fold_x(n_rows * in_w);
+        std::vector<double> fold_t(n_rows);
+        for (size_t r = 0; r < n_rows; ++r) {
+            const size_t row = train_rows[r];
+            std::copy(data.x[row].begin(), data.x[row].end(),
+                      fold_x.begin() + static_cast<ptrdiff_t>(r * in_w));
+            fold_t[r] = scaler.encode(data.y[row]);
+        }
+        std::vector<uint32_t> order(n_rows);
+
         double best_es = std::numeric_limits<double>::infinity();
         std::vector<double> best_weights = net.weights();
         int stale = 0;
-        std::vector<double> target(1);
 
         // An epoch's summed squared error on sigmoid outputs is
         // bounded by the row count; anything past this factor means
@@ -314,13 +330,15 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
                 net.setLearningRate(
                     base_lr / (1.0 + epoch / opts.ann.decayEpochs));
             }
-            // One epoch = train_rows.size() weighted presentations.
-            double epoch_sq = 0.0;
-            for (size_t n = 0; n < train_rows.size(); ++n) {
-                const size_t row = train_rows[drawRow(cdf, fold_rng)];
-                target[0] = scaler.encode(data.y[row]);
-                epoch_sq += net.train(data.x[row], target);
-            }
+            // One epoch = n_rows weighted presentations: draw the
+            // whole presentation order first (consuming the fold's
+            // RNG stream exactly as the historical per-presentation
+            // loop did), then hand the packed fold to the fused epoch
+            // kernel — bit-identical to the train()-per-row loop.
+            for (size_t p = 0; p < n_rows; ++p)
+                order[p] = static_cast<uint32_t>(drawRow(cdf, fold_rng));
+            const double epoch_sq = net.trainEpoch(
+                fold_x.data(), fold_t.data(), order.data(), n_rows);
             registry.add(tm.epochs);
             if (net.diverged() || !std::isfinite(epoch_sq) ||
                 epoch_sq > explosion_bound) {
@@ -342,7 +360,14 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
         }
         if (opts.earlyStopping)
             net.setWeights(best_weights);
-        if (!net.finiteWeights())
+        // Reaching here means every epoch's loss was finite and under
+        // the explosion bound (the loop rejects the attempt
+        // otherwise), which latches off the O(W) finiteWeights()
+        // sweep on the healthy path. Retries keep the full scan: a
+        // previous initialization of this fold has already blown up,
+        // so the reseeded recovery path pays the sweep to certify its
+        // accept decision.
+        if (scan_weights && !net.finiteWeights())
             return std::optional<Ann>();
         return std::optional<Ann>(std::move(net));
     };
@@ -369,7 +394,7 @@ trainEnsemble(const DataSet &data, const TrainOptions &opts)
             if (!injector.shouldFail(
                     "fold",
                     mi * 64 + static_cast<uint64_t>(attempt))) {
-                net = attempt_fold(mi, seed);
+                net = attempt_fold(mi, seed, attempt > 0);
             }
             if (!net) {
                 registry.add(tm.divergences);

@@ -24,6 +24,13 @@
  * folds concurrently on the global ThreadPool, with results
  * bit-identical to serial execution at any DSE_THREADS setting (see
  * DESIGN.md, "Parallel execution & determinism").
+ *
+ * Per fold, training rows are packed once into a contiguous matrix
+ * with pre-encoded targets, and each epoch runs as a single
+ * Ann::trainEpoch call over a pre-drawn presentation order (see
+ * DESIGN.md, "Training pipeline") — bit-identical to the historical
+ * per-example loop, without its per-presentation encode and vector
+ * traffic.
  */
 
 #ifndef DSE_ML_CROSS_VALIDATION_HH

@@ -18,6 +18,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -116,6 +117,30 @@ class ReferenceAnn
             }
         }
         return sq_error;
+    }
+
+    /**
+     * Epoch oracle mirroring Ann::trainEpoch's presentation
+     * semantics: sequential per-example train() calls over packed
+     * row-major example matrices, presentation p training on row
+     * order[p] (row p when @p order is null). Returns the summed
+     * squared error in presentation order.
+     */
+    double
+    trainEpoch(const double *x, const double *t, const uint32_t *order,
+               size_t rows)
+    {
+        const size_t in = static_cast<size_t>(inputs_);
+        const size_t out = static_cast<size_t>(outputs_);
+        double sum = 0.0;
+        for (size_t r = 0; r < rows; ++r) {
+            const size_t row = order ? order[r] : r;
+            sum += train(
+                std::vector<double>(x + row * in, x + (row + 1) * in),
+                std::vector<double>(t + row * out,
+                                    t + (row + 1) * out));
+        }
+        return sum;
     }
 
     void setLearningRate(double eta) { params_.learningRate = eta; }

@@ -130,6 +130,95 @@ TEST(AnnParity, TrainingTrajectoryTracksReference)
     EXPECT_LE(maxRelDiff(net.weights(), ref.weights()), 1e-9);
 }
 
+TEST(AnnParity, TrainEpochBitIdenticalToPerExampleTrain)
+{
+    // trainEpoch's contract is exact: same forward, same fused
+    // backward+update sweep, same error accumulation order as the
+    // equivalent sequence of train() calls — EXPECT_EQ, no tolerance.
+    // The presentation order draws rows with replacement (repeats and
+    // gaps), as weighted presentation does.
+    Rng data_rng(606);
+    for (const Topology &t : kTopologies) {
+        AnnParams p;
+        p.hiddenUnits = t.hiddenUnits;
+        p.hiddenLayers = t.hiddenLayers;
+        Rng rng_a(707), rng_b(707);
+        Ann a(t.inputs, t.outputs, p, rng_a);
+        Ann b(t.inputs, t.outputs, p, rng_b);
+        ASSERT_EQ(a.weights(), b.weights());
+
+        const size_t rows = 19;
+        const size_t in = static_cast<size_t>(t.inputs);
+        const size_t out = static_cast<size_t>(t.outputs);
+        std::vector<double> x(rows * in);
+        std::vector<double> target(rows * out);
+        for (auto &v : x)
+            v = data_rng.uniform();
+        for (auto &v : target)
+            v = data_rng.uniform();
+        std::vector<uint32_t> order(3 * rows);
+        for (auto &o : order)
+            o = static_cast<uint32_t>(data_rng.below(rows));
+
+        double sum_b = 0.0;
+        for (uint32_t row : order) {
+            const std::vector<double> xi(
+                x.begin() + static_cast<ptrdiff_t>(row * in),
+                x.begin() + static_cast<ptrdiff_t>((row + 1) * in));
+            const std::vector<double> ti(
+                target.begin() + static_cast<ptrdiff_t>(row * out),
+                target.begin() + static_cast<ptrdiff_t>((row + 1) * out));
+            sum_b += b.train(xi, ti);
+        }
+        const double sum_a = a.trainEpoch(x.data(), target.data(),
+                                          order.data(), order.size());
+        EXPECT_EQ(sum_a, sum_b)
+            << "topology " << t.inputs << "->" << t.hiddenUnits << "x"
+            << t.hiddenLayers << "->" << t.outputs;
+        EXPECT_EQ(a.weights(), b.weights())
+            << "topology " << t.inputs << "->" << t.hiddenUnits << "x"
+            << t.hiddenLayers << "->" << t.outputs;
+    }
+}
+
+TEST(AnnParity, TrainEpochTrajectoryTracksReference)
+{
+    // The fused epoch pipeline vs the pre-rewrite per-example oracle
+    // over several epochs (null order = in-place presentation): the
+    // fused backward+update sweep reorders no arithmetic, so drift
+    // stays at the kernel-vs-libm level of the other trajectory test.
+    Rng rng(808);
+    for (const Topology &t : kTopologies) {
+        AnnParams p;
+        p.hiddenUnits = t.hiddenUnits;
+        p.hiddenLayers = t.hiddenLayers;
+        Ann net(t.inputs, t.outputs, p, rng);
+        testref::ReferenceAnn ref(t.inputs, t.outputs, p, net.weights());
+
+        const size_t rows = 25;
+        const size_t in = static_cast<size_t>(t.inputs);
+        const size_t out = static_cast<size_t>(t.outputs);
+        std::vector<double> x(rows * in);
+        std::vector<double> target(rows * out);
+        Rng data_rng(809);
+        for (auto &v : x)
+            v = data_rng.uniform();
+        for (auto &v : target)
+            v = data_rng.uniform();
+
+        for (int epoch = 0; epoch < 4; ++epoch) {
+            const double e_net =
+                net.trainEpoch(x.data(), target.data(), nullptr, rows);
+            const double e_ref =
+                ref.trainEpoch(x.data(), target.data(), nullptr, rows);
+            EXPECT_NEAR(e_net, e_ref, 1e-10 * (1.0 + std::abs(e_ref)));
+        }
+        EXPECT_LE(maxRelDiff(net.weights(), ref.weights()), 1e-9)
+            << "topology " << t.inputs << "->" << t.hiddenUnits << "x"
+            << t.hiddenLayers << "->" << t.outputs;
+    }
+}
+
 TEST(AnnParity, BatchedPredictionBitIdenticalToSingle)
 {
     Rng rng(404);

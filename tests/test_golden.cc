@@ -4,8 +4,10 @@
  * result pins so refactors of the simulator, the training engine, or
  * the parallel scheduling cannot silently drift the reproduction.
  * Values were produced by this library at the revision that
- * introduced the parallel engine; a legitimate modelling change that
- * moves them must update the pins deliberately.
+ * introduced the parallel engine and have survived the flat-arena
+ * kernel rewrite and the fused epoch-level training pipeline
+ * unchanged — both were bit-exact refactors; a legitimate modelling
+ * change that moves them must update the pins deliberately.
  */
 
 #include <gtest/gtest.h>
@@ -61,6 +63,7 @@ TEST(Golden, SmallEnsembleEstimate)
     opts.patience = 5;
     const auto model = ml::trainEnsemble(data, opts);
     EXPECT_NEAR(model.estimate().meanPct, 25.809202971370066, 1e-6);
+    EXPECT_NEAR(model.estimate().sdPct, 22.809921024581772, 1e-6);
 }
 
 } // namespace

@@ -15,11 +15,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "ml/ann.hh"
 #include "ml/explorer.hh"
 #include "study/harness.hh"
 #include "util/rng.hh"
@@ -189,6 +191,66 @@ TEST(ParallelDeterminism, TrainEnsembleBitIdenticalAcrossThreadCounts)
     expectEnsemblesIdentical(models[0], models[2], "1 vs 8 threads");
     EXPECT_EQ(models[0].predict({0.3, 0.7}),
               models[2].predict({0.3, 0.7}));
+}
+
+TEST(ParallelDeterminism, TrainEpochBitIdenticalToPerExampleAcrossThreadCounts)
+{
+    // The fused epoch pipeline under the pool: six networks trained
+    // concurrently via trainEpoch (one per pool task, as trainEnsemble
+    // trains folds) must match a serial per-example train() oracle
+    // exactly, at every thread count. Exercises the fused
+    // backward+update kernels' dispatch under concurrent execution.
+    constexpr size_t kNets = 6;
+    constexpr size_t kRows = 20;
+    constexpr int kInputs = 8;
+    constexpr int kEpochs = 3;
+
+    std::vector<double> x(kRows * kInputs);
+    std::vector<double> target(kRows);
+    std::vector<uint32_t> order(kRows);
+    {
+        Rng rng(0xfa57);
+        for (auto &v : x)
+            v = rng.uniform();
+        for (auto &v : target)
+            v = rng.uniform();
+        for (auto &o : order)
+            o = static_cast<uint32_t>(rng.below(kRows));
+    }
+
+    auto make_net = [&](size_t m) {
+        ml::AnnParams p;
+        Rng rng(1000 + m);
+        return ml::Ann(kInputs, 1, p, rng);
+    };
+
+    // Serial oracle: per-example train() calls, no pool involved.
+    std::vector<std::vector<double>> expected;
+    for (size_t m = 0; m < kNets; ++m) {
+        ml::Ann net = make_net(m);
+        for (int e = 0; e < kEpochs; ++e)
+            for (uint32_t row : order)
+                net.train(std::vector<double>(
+                              x.begin() + row * kInputs,
+                              x.begin() + (row + 1) * kInputs),
+                          {target[row]});
+        expected.push_back(net.weights());
+    }
+
+    for (size_t threads : kThreadCounts) {
+        PoolGuard guard(threads);
+        std::vector<std::vector<double>> got(kNets);
+        ThreadPool::global().parallelFor(0, kNets, [&](size_t m) {
+            ml::Ann net = make_net(m);
+            for (int e = 0; e < kEpochs; ++e)
+                net.trainEpoch(x.data(), target.data(), order.data(),
+                               order.size());
+            got[m] = net.weights();
+        });
+        for (size_t m = 0; m < kNets; ++m)
+            EXPECT_EQ(got[m], expected[m])
+                << "threads=" << threads << " net " << m;
+    }
 }
 
 TEST(ParallelDeterminism, ExplorerPredictionsBitIdenticalAcrossThreadCounts)

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and gate on regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json \
+        [--bench REGEX ...] [--max-regression FRACTION]
+
+Both files are ``--benchmark_out`` JSON (``--benchmark_format=json``).
+For every benchmark selected by the ``--bench`` regexes (default: all
+benchmarks present in the baseline), the script compares real_time
+means and prints a table. Exit status:
+
+    0  every selected benchmark is within the allowed regression
+    1  at least one selected benchmark regressed by more than
+       --max-regression (default 0.10, i.e. +10% mean real_time)
+    2  usage error, unreadable/invalid JSON, or a --bench pattern that
+       matches nothing in the baseline (a gate that silently compares
+       zero benchmarks is not a gate)
+
+Aggregate-aware: if a run was recorded with repetitions and
+``--benchmark_report_aggregates_only``, the ``_mean`` aggregate row is
+used; otherwise plain (non-aggregate) entries are used as-is. Either
+side may use either shape — entries are indexed by run_name, which is
+the benchmark name with any aggregate suffix stripped.
+
+This is the bench-regression gate wired into ctest (BenchCompareGate
+runs a parse-only self-compare of the committed baseline) and invoked
+advisorily by run_benches.sh after refreshing BENCH_ann.json; see
+README.md, "Testing".
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def fail(msg):
+    print("bench_compare: error: %s" % msg, file=sys.stderr)
+    sys.exit(2)
+
+
+def load_means(path):
+    """Map run_name -> mean real_time (ns-scale per time_unit) for one
+    benchmark JSON file, preferring ``_mean`` aggregates."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail("cannot read %s: %s" % (path, e))
+    except ValueError as e:
+        fail("%s is not valid JSON: %s" % (path, e))
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        fail("%s has no benchmarks array" % path)
+
+    means = {}
+    plain = {}
+    units = {}
+    for entry in benchmarks:
+        name = entry.get("run_name", entry.get("name"))
+        time = entry.get("real_time")
+        if name is None or not isinstance(time, (int, float)):
+            continue
+        units[name] = entry.get("time_unit", "ns")
+        if entry.get("aggregate_name") == "mean":
+            means[name] = float(time)
+        elif "aggregate_name" not in entry:
+            # Plain repetition entries: average them ourselves so a
+            # non-aggregated current run still compares cleanly.
+            plain.setdefault(name, []).append(float(time))
+    for name, times in plain.items():
+        means.setdefault(name, sum(times) / len(times))
+    if not means:
+        fail("%s contains no usable real_time entries" % path)
+    return means, units
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="bench_compare.py",
+        description="Gate google-benchmark results against a baseline.")
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("current", help="current benchmark JSON")
+    parser.add_argument(
+        "--bench", action="append", default=[], metavar="REGEX",
+        help="gate benchmarks whose run_name matches REGEX in full "
+             "(repeatable; default: every baseline benchmark)")
+    parser.add_argument(
+        "--max-regression", type=float, default=0.10, metavar="FRACTION",
+        help="maximum tolerated mean real_time increase "
+             "(default 0.10 = +10%%)")
+    args = parser.parse_args(argv)
+    if args.max_regression < 0:
+        fail("--max-regression must be non-negative")
+
+    base, base_units = load_means(args.baseline)
+    curr, _ = load_means(args.current)
+
+    if args.bench:
+        try:
+            patterns = [re.compile(p) for p in args.bench]
+        except re.error as e:
+            fail("bad --bench regex: %s" % e)
+        selected = sorted(
+            n for n in base if any(p.fullmatch(n) for p in patterns))
+        for p, rx in zip(args.bench, patterns):
+            if not any(rx.fullmatch(n) for n in base):
+                fail("--bench %r matches no baseline benchmark" % p)
+    else:
+        selected = sorted(base)
+
+    width = max(len(n) for n in selected)
+    header = "%-*s  %12s  %12s  %8s  gate" % (
+        width, "benchmark", "base mean", "curr mean", "delta")
+    print(header)
+    print("-" * len(header))
+
+    regressed = []
+    for name in selected:
+        if name not in curr:
+            regressed.append(name)
+            print("%-*s  %12.1f  %12s  %8s  MISSING" %
+                  (width, name, base[name], "-", "-"))
+            continue
+        delta = (curr[name] - base[name]) / base[name]
+        bad = delta > args.max_regression
+        if bad:
+            regressed.append(name)
+        print("%-*s  %12.1f  %12.1f  %+7.1f%%  %s" %
+              (width, name, base[name], curr[name], delta * 100.0,
+               "FAIL" if bad else "ok"))
+    unit = base_units.get(selected[0], "ns")
+    print("(means in %s; gate: > +%.0f%% mean real_time fails)" %
+          (unit, args.max_regression * 100.0))
+
+    if regressed:
+        print("bench_compare: FAILED: %s" % ", ".join(regressed),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
