@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Microbenchmarks of the remote-dispatch hot path that is pure CPU:
+ * SimulateBatch request/reply encode+decode (what every batch pays on
+ * the wire, both sides) and the backoff schedule computation. Network
+ * and simulation time dominate a real dispatch; these pin down the
+ * protocol overhead so a frame-format change that bloats it shows up.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "remote/dispatcher.hh"
+#include "serve/protocol.hh"
+#include "sim/config.hh"
+
+using namespace dse;
+
+namespace {
+
+serve::SimulateBatchRequest
+sampleRequest(size_t points)
+{
+    serve::SimulateBatchRequest req;
+    req.study = 0;
+    req.app = "gzip";
+    req.traceLength = 1 << 20;
+    req.indices.reserve(points);
+    for (size_t i = 0; i < points; ++i)
+        req.indices.push_back(i * 977 + 13);
+    return req;
+}
+
+serve::SimulateBatchReply
+sampleReply(size_t points)
+{
+    serve::SimulateBatchReply reply;
+    reply.results.reserve(points);
+    for (size_t i = 0; i < points; ++i) {
+        sim::SimResult r;
+        r.cycles = 100000 + i;
+        r.instructions = 90000 + i;
+        r.ipc = 0.9 + 0.001 * static_cast<double>(i);
+        r.l1dMissRate = 0.031;
+        r.l2MissRate = 0.004;
+        r.branchMispredictRate = 0.017;
+        r.l1dAccesses = 40000 + i;
+        r.l1dMisses = 1200 + i;
+        r.branches = 9000 + i;
+        reply.results.push_back(r);
+    }
+    return reply;
+}
+
+void
+BM_SimulateBatchRequestRoundTrip(benchmark::State &state)
+{
+    const auto req = sampleRequest(static_cast<size_t>(state.range(0)));
+    serve::SimulateBatchRequest out;
+    for (auto _ : state) {
+        const std::string wire = req.encode();
+        benchmark::DoNotOptimize(
+            serve::SimulateBatchRequest::decode(wire, out));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_SimulateBatchReplyRoundTrip(benchmark::State &state)
+{
+    const auto reply = sampleReply(static_cast<size_t>(state.range(0)));
+    serve::SimulateBatchReply out;
+    for (auto _ : state) {
+        const std::string wire = reply.encode();
+        benchmark::DoNotOptimize(
+            serve::SimulateBatchReply::decode(wire, out));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_BackoffSchedule(benchmark::State &state)
+{
+    uint64_t key = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            remote::RemoteDispatcher::backoffDelayMs(
+                0xd15e7c4ull, ++key, 3, 5, 1000));
+    }
+}
+
+BENCHMARK(BM_SimulateBatchRequestRoundTrip)->Arg(16)->Arg(256);
+BENCHMARK(BM_SimulateBatchReplyRoundTrip)->Arg(16)->Arg(256);
+BENCHMARK(BM_BackoffSchedule);
+
+} // namespace
+
+BENCHMARK_MAIN();

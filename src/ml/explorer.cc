@@ -135,6 +135,11 @@ Explorer::step()
     if (batch.empty())
         return std::nullopt;
 
+    // Let a dispatcher (or any batch-aware simulator) start on the
+    // whole batch before the sequential per-index accumulation below.
+    if (opts_.prefetch)
+        opts_.prefetch(batch);
+
     const auto &em = ExploreMetrics::get();
     auto &registry = obs::MetricsRegistry::global();
     registry.add(em.rounds);

@@ -53,6 +53,15 @@ struct ExplorerOptions
     bool activeLearning = false;
     /** Candidate pool size per batch when active learning is on. */
     size_t candidatePool = 500;
+    /**
+     * Optional batch prefetch hook, called with each round's chosen
+     * indices before the per-index simulator loop. A remote
+     * dispatcher uses it to fan the batch out across workers and
+     * pre-warm the study memo cache; the per-index calls then hit
+     * memoized results. Purely an acceleration hint — results are
+     * identical with or without it.
+     */
+    std::function<void(const std::vector<uint64_t> &)> prefetch;
 };
 
 /** One refinement round's outcome. */

@@ -1,0 +1,572 @@
+#include "remote/dispatcher.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+
+#include "serve/client.hh"
+#include "util/env.hh"
+#include "util/fault.hh"
+#include "util/metrics.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+namespace dse {
+namespace remote {
+
+namespace {
+
+/** remote.* instrumentation (metrics.hh registration idiom). */
+struct RemoteMetrics
+{
+    obs::CounterId dispatched, completed, retries, hedges;
+    obs::CounterId redispatches, fallbacks;
+    obs::HistogramId batchWallNs;
+
+    static const RemoteMetrics &
+    get()
+    {
+        static const RemoteMetrics m = [] {
+            auto &r = obs::MetricsRegistry::global();
+            RemoteMetrics s;
+            s.dispatched = r.counter("remote.dispatched");
+            s.completed = r.counter("remote.completed");
+            s.retries = r.counter("remote.retries");
+            s.hedges = r.counter("remote.hedges");
+            s.redispatches = r.counter("remote.redispatches");
+            s.fallbacks = r.counter("remote.fallbacks");
+            s.batchWallNs = r.histogram("remote.batch_wall_ns");
+            return s;
+        }();
+        return m;
+    }
+};
+
+/** Outcome of one remote attempt (drives retry bookkeeping). */
+enum class Outcome { Ok, Timeout, Disconnected, Other };
+
+} // namespace
+
+std::vector<Endpoint>
+parseEndpoints(const std::string &spec)
+{
+    std::vector<Endpoint> out;
+    for (const std::string &entry : split(spec, ',')) {
+        const auto colon = entry.rfind(':');
+        if (colon == std::string::npos || colon == 0)
+            throw std::invalid_argument(
+                "DSE_WORKERS entry '" + entry + "' is not host:port");
+        const long port = std::atol(entry.c_str() + colon + 1);
+        if (port <= 0 || port > 65535)
+            throw std::invalid_argument(
+                "DSE_WORKERS entry '" + entry + "' has a bad port");
+        out.push_back(Endpoint{entry.substr(0, colon),
+                               static_cast<uint16_t>(port)});
+    }
+    return out;
+}
+
+DispatcherOptions
+DispatcherOptions::fromEnv()
+{
+    DispatcherOptions o;
+    if (const char *spec = std::getenv("DSE_WORKERS")) {
+        if (*spec)
+            o.endpoints = parseEndpoints(spec);
+    }
+    o.batchPoints = static_cast<size_t>(std::max<long long>(
+        1, envInt("DSE_REMOTE_BATCH",
+                  static_cast<long long>(o.batchPoints))));
+    o.requestTimeoutMs = static_cast<int>(
+        envInt("DSE_REMOTE_TIMEOUT_MS", o.requestTimeoutMs));
+    o.maxAttempts = static_cast<uint32_t>(std::max<long long>(
+        1, envInt("DSE_REMOTE_ATTEMPTS", o.maxAttempts)));
+    o.backoffBaseMs = static_cast<int>(
+        envInt("DSE_REMOTE_BACKOFF_MS", o.backoffBaseMs));
+    o.backoffCapMs = static_cast<int>(
+        envInt("DSE_REMOTE_BACKOFF_CAP_MS", o.backoffCapMs));
+    o.hedgeAfterMs = static_cast<int>(
+        envInt("DSE_REMOTE_HEDGE_MS", o.hedgeAfterMs));
+    o.breakerThreshold = static_cast<uint32_t>(std::max<long long>(
+        1, envInt("DSE_REMOTE_BREAKER", o.breakerThreshold)));
+    o.probeIntervalMs = static_cast<int>(std::max<long long>(
+        1, envInt("DSE_REMOTE_PROBE_MS", o.probeIntervalMs)));
+    o.seed = static_cast<uint64_t>(
+        envInt("DSE_REMOTE_SEED", static_cast<long long>(o.seed)));
+    return o;
+}
+
+int
+RemoteDispatcher::backoffDelayMs(uint64_t seed, uint64_t key,
+                                 uint32_t attempt, int base_ms,
+                                 int cap_ms)
+{
+    if (base_ms < 1)
+        base_ms = 1;
+    if (cap_ms < base_ms)
+        cap_ms = base_ms;
+    // Decorrelated jitter over an exponentially growing window: the
+    // delay is uniform in [base, min(cap, base << attempt)], drawn
+    // from a SplitMix64 stream keyed by (seed, batch key, attempt).
+    // A pure function of its arguments — no clocks, no shared state —
+    // so the whole retry schedule is identical at any thread count.
+    SplitMix64 sm(seed ^ (key * 0x9e3779b97f4a7c15ull) ^
+                  (static_cast<uint64_t>(attempt) << 32));
+    const uint64_t r = sm.next();
+    const uint32_t shift = attempt < 20 ? attempt : 20;
+    uint64_t window = static_cast<uint64_t>(base_ms) << shift;
+    window = std::min<uint64_t>(window, static_cast<uint64_t>(cap_ms));
+    window = std::max<uint64_t>(window, static_cast<uint64_t>(base_ms));
+    const uint64_t span = window - static_cast<uint64_t>(base_ms) + 1;
+    return static_cast<int>(base_ms + r % span);
+}
+
+// ------------------------------------------------------------ structure
+
+struct RemoteDispatcher::Task
+{
+    std::vector<uint64_t> indices;
+    uint64_t key = 0;  ///< indices[0]; fault/backoff identity
+
+    // done is checked lock-free by the winning injector; everything
+    // else is guarded by the dispatcher mutex.
+    std::atomic<bool> done{false};
+    bool failed = false;    ///< exhausted; left to local simulation
+    bool settled = false;   ///< counted out of outstanding_
+    uint32_t attempt = 0;
+    uint64_t notBeforeNs = 0;  ///< backoff gate
+    int inflight = 0;          ///< active attempts (hedges included)
+    int lastWorker = -1;
+    bool hedgedThisAttempt = false;
+    uint64_t inflightSinceNs = 0;
+};
+
+struct RemoteDispatcher::Worker
+{
+    Endpoint ep;
+    serve::Client client;
+    bool connected = false;      ///< thread-private
+    uint64_t lastProbeNs = 0;    ///< thread-private (half-open pings)
+    std::atomic<uint32_t> consecutiveFailures{0};
+    std::atomic<bool> open{false};  ///< circuit breaker state
+    obs::HistogramId latency;       ///< per-worker wall time
+};
+
+RemoteDispatcher::RemoteDispatcher(study::StudyContext &ctx,
+                                   DispatcherOptions opts)
+    : ctx_(ctx), opts_(std::move(opts))
+{
+    if (opts_.batchPoints == 0)
+        opts_.batchPoints = 1;
+    if (opts_.maxAttempts == 0)
+        opts_.maxAttempts = 1;
+    workers_.reserve(opts_.endpoints.size());
+    for (size_t i = 0; i < opts_.endpoints.size(); ++i) {
+        auto w = std::make_unique<Worker>();
+        w->ep = opts_.endpoints[i];
+        if (opts_.requestTimeoutMs > 0)
+            w->client.setTimeout(opts_.requestTimeoutMs);
+        // Per-worker latency series for the first few endpoints (the
+        // common case); the registry treats an invalid id as a no-op.
+        if (i < 8) {
+            w->latency = obs::MetricsRegistry::global().histogram(
+                "remote.worker" + std::to_string(i) + ".latency_ns");
+        }
+        workers_.push_back(std::move(w));
+    }
+    threads_.reserve(workers_.size());
+    for (size_t i = 0; i < workers_.size(); ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+RemoteDispatcher::~RemoteDispatcher()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        exiting_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+uint64_t
+RemoteDispatcher::nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+DispatchStats
+RemoteDispatcher::stats() const
+{
+    DispatchStats s;
+    s.dispatched = counters_.dispatched.load();
+    s.completed = counters_.completed.load();
+    s.retries = counters_.retries.load();
+    s.hedges = counters_.hedges.load();
+    s.redispatches = counters_.redispatches.load();
+    s.fallbacks = counters_.fallbacks.load();
+    return s;
+}
+
+bool
+RemoteDispatcher::breakerOpen(size_t i) const
+{
+    return i < workers_.size() &&
+        workers_[i]->open.load(std::memory_order_relaxed);
+}
+
+bool
+RemoteDispatcher::allBreakersOpen() const
+{
+    for (const auto &w : workers_) {
+        if (!w->open.load(std::memory_order_relaxed))
+            return false;
+    }
+    return !workers_.empty();
+}
+
+// ---------------------------------------------------------- coordinator
+
+void
+RemoteDispatcher::prefetch(const std::vector<uint64_t> &indices)
+{
+    if (!active() || indices.empty())
+        return;
+
+    // Only missing points travel; duplicates collapse.
+    std::vector<uint64_t> todo;
+    {
+        std::unordered_set<uint64_t> seen;
+        for (uint64_t idx : indices) {
+            if (!seen.insert(idx).second)
+                continue;
+            const bool have = opts_.simpoint
+                ? ctx_.hasSimPointEstimate(idx)
+                : ctx_.hasResult(idx);
+            if (!have)
+                todo.push_back(idx);
+        }
+    }
+    if (todo.empty())
+        return;
+
+    std::vector<std::shared_ptr<Task>> tasks;
+    for (size_t at = 0; at < todo.size(); at += opts_.batchPoints) {
+        auto task = std::make_shared<Task>();
+        const size_t end = std::min(todo.size(), at + opts_.batchPoints);
+        task->indices.assign(todo.begin() + static_cast<ptrdiff_t>(at),
+                             todo.begin() + static_cast<ptrdiff_t>(end));
+        task->key = task->indices[0];
+        tasks.push_back(std::move(task));
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto &task : tasks)
+            queue_.push_back(task);
+        outstanding_ += tasks.size();
+    }
+    workCv_.notify_all();
+
+    auto &registry = obs::MetricsRegistry::global();
+    const auto &rm = RemoteMetrics::get();
+
+    // Coordinator loop: wait for completion, hedge stragglers, and
+    // escalate to local fallback when every breaker is open. Attempts
+    // are deadline-bounded (serve::Client), retries are capped, and
+    // all-dead abandons the rest, so this loop always terminates.
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        doneCv_.wait_for(lock, std::chrono::milliseconds(5),
+                         [&] { return outstanding_ == 0; });
+        if (outstanding_ == 0)
+            break;
+
+        const uint64_t now = nowNs();
+        if (opts_.hedgeAfterMs > 0 && workers_.size() > 1) {
+            const uint64_t after =
+                static_cast<uint64_t>(opts_.hedgeAfterMs) * 1000000ull;
+            for (auto &task : tasks) {
+                if (task->done.load(std::memory_order_acquire) ||
+                    task->failed || task->hedgedThisAttempt)
+                    continue;
+                if (task->inflight == 1 &&
+                    now - task->inflightSinceNs > after) {
+                    // Straggler: race a duplicate on another worker;
+                    // first reply wins (done flag), the loser's answer
+                    // is dropped by the dedup in attempt().
+                    task->hedgedThisAttempt = true;
+                    counters_.hedges.fetch_add(1);
+                    registry.add(rm.hedges);
+                    queue_.push_back(task);
+                    workCv_.notify_all();
+                }
+            }
+        }
+
+        if (allBreakersOpen()) {
+            // Every worker is (believed) dead: stop queueing and let
+            // the local path absorb whatever has not completed. Tasks
+            // still in flight settle on their own within a deadline.
+            for (auto &task : tasks) {
+                if (!task->done.load(std::memory_order_acquire) &&
+                    !task->failed && task->inflight == 0)
+                    failTask(task);
+            }
+        }
+    }
+
+    // Drop any stale queue entries (hedge duplicates of settled
+    // tasks) so the next call starts clean.
+    queue_.erase(std::remove_if(
+                     queue_.begin(), queue_.end(),
+                     [](const std::shared_ptr<Task> &t) {
+                         return t->done.load() || t->failed;
+                     }),
+                 queue_.end());
+}
+
+std::vector<double>
+RemoteDispatcher::simulateBatch(const std::vector<uint64_t> &indices)
+{
+    prefetch(indices);
+    // The context call resolves every index: remote results are memo
+    // hits, exhausted batches simulate locally here. Merging by index
+    // makes the sourcing invisible — output order and values are those
+    // of an all-local run.
+    return opts_.simpoint ? ctx_.simulateSimPointBatch(indices)
+                          : ctx_.simulateBatch(indices);
+}
+
+// must hold mu_
+void
+RemoteDispatcher::failTask(const std::shared_ptr<Task> &task)
+{
+    task->failed = true;
+    if (!task->settled) {
+        task->settled = true;
+        --outstanding_;
+        counters_.fallbacks.fetch_add(1);
+        obs::MetricsRegistry::global().add(RemoteMetrics::get().fallbacks);
+        doneCv_.notify_all();
+    }
+}
+
+// must hold mu_
+void
+RemoteDispatcher::requeue(const std::shared_ptr<Task> &task,
+                          uint64_t not_before_ns)
+{
+    task->notBeforeNs = not_before_ns;
+    task->hedgedThisAttempt = false;
+    queue_.push_back(task);
+}
+
+// ------------------------------------------------------- endpoint threads
+
+void
+RemoteDispatcher::workerLoop(size_t wi)
+{
+    auto &w = *workers_[wi];
+    auto &registry = obs::MetricsRegistry::global();
+    const auto &rm = RemoteMetrics::get();
+
+    for (;;) {
+        std::shared_ptr<Task> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workCv_.wait_for(lock, std::chrono::milliseconds(5), [&] {
+                return exiting_ || !queue_.empty();
+            });
+            if (exiting_)
+                return;
+            if (!w.open.load(std::memory_order_relaxed)) {
+                const uint64_t now = nowNs();
+                for (size_t i = 0; i < queue_.size();) {
+                    auto &t = queue_[i];
+                    if (t->done.load(std::memory_order_acquire) ||
+                        t->failed) {
+                        queue_.erase(queue_.begin() +
+                                     static_cast<ptrdiff_t>(i));
+                        continue;
+                    }
+                    const bool hedge_entry = t->inflight > 0;
+                    if (t->notBeforeNs > now ||
+                        (hedge_entry && t->lastWorker ==
+                             static_cast<int>(wi))) {
+                        ++i;
+                        continue;  // not due / own straggler
+                    }
+                    task = t;
+                    queue_.erase(queue_.begin() +
+                                 static_cast<ptrdiff_t>(i));
+                    break;
+                }
+                if (task) {
+                    ++task->inflight;
+                    task->lastWorker = static_cast<int>(wi);
+                    task->inflightSinceNs = nowNs();
+                }
+            }
+        }
+
+        if (!task) {
+            // Breaker open (or nothing due): half-open probe on its
+            // schedule, then yield briefly so this loop stays cold.
+            if (w.open.load(std::memory_order_relaxed)) {
+                const uint64_t now = nowNs();
+                if (now - w.lastProbeNs >=
+                    static_cast<uint64_t>(opts_.probeIntervalMs) *
+                        1000000ull) {
+                    w.lastProbeNs = now;
+                    try {
+                        if (!w.connected) {
+                            w.client.connect(w.ep.host, w.ep.port);
+                            w.connected = true;
+                        }
+                        w.client.ping();
+                        // The worker answered: close the breaker and
+                        // resume taking real traffic.
+                        w.consecutiveFailures.store(0);
+                        w.open.store(false);
+                    } catch (const std::exception &) {
+                        w.connected = false;
+                        w.client.close();
+                    }
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+            }
+            continue;
+        }
+
+        Outcome outcome = Outcome::Other;
+        try {
+            outcome = attempt(wi, task) ? Outcome::Ok : Outcome::Other;
+        } catch (const serve::ServeError &e) {
+            outcome = e.code() == serve::ErrCode::Timeout
+                ? Outcome::Timeout
+                : (e.code() == serve::ErrCode::Disconnected
+                       ? Outcome::Disconnected
+                       : Outcome::Other);
+        } catch (const std::exception &) {
+            outcome = Outcome::Other;
+        }
+
+        if (outcome != Outcome::Ok) {
+            w.connected = false;
+            w.client.close();
+            const uint32_t fails =
+                w.consecutiveFailures.fetch_add(1) + 1;
+            if (fails >= opts_.breakerThreshold) {
+                w.open.store(true);
+                w.lastProbeNs = nowNs();
+            }
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --task->inflight;
+            if (outcome == Outcome::Ok) {
+                if (!task->settled) {
+                    task->settled = true;
+                    --outstanding_;
+                    doneCv_.notify_all();
+                }
+            } else if (!task->done.load(std::memory_order_acquire) &&
+                       !task->failed && task->inflight == 0) {
+                ++task->attempt;
+                if (task->attempt >= opts_.maxAttempts) {
+                    failTask(task);
+                } else {
+                    counters_.retries.fetch_add(1);
+                    registry.add(rm.retries);
+                    if (outcome == Outcome::Disconnected) {
+                        // The worker died with this batch in flight;
+                        // it goes back on the queue for someone else.
+                        counters_.redispatches.fetch_add(1);
+                        registry.add(rm.redispatches);
+                    }
+                    const int delay = backoffDelayMs(
+                        opts_.seed, task->key, task->attempt,
+                        opts_.backoffBaseMs, opts_.backoffCapMs);
+                    requeue(task, nowNs() +
+                                static_cast<uint64_t>(delay) *
+                                    1000000ull);
+                }
+            }
+        }
+        workCv_.notify_all();
+    }
+}
+
+bool
+RemoteDispatcher::attempt(size_t wi, const std::shared_ptr<Task> &task)
+{
+    auto &w = *workers_[wi];
+    auto &registry = obs::MetricsRegistry::global();
+    const auto &rm = RemoteMetrics::get();
+    counters_.dispatched.fetch_add(1);
+    registry.add(rm.dispatched);
+
+    // Client-side chaos: a dropped connection, keyed per batch so the
+    // decision is deterministic at any thread count.
+    if (util::FaultInjector::global().shouldFail("remote.conn.drop",
+                                                 task->key)) {
+        w.connected = false;
+        w.client.close();
+        throw serve::ServeError(serve::ErrCode::Disconnected,
+                                "injected connection drop");
+    }
+
+    const uint64_t t0 = nowNs();
+    if (!w.connected) {
+        w.client.connect(w.ep.host, w.ep.port);
+        w.connected = true;
+    }
+    serve::SimulateBatchRequest req;
+    req.study = static_cast<uint8_t>(ctx_.kind());
+    req.app = ctx_.app();
+    req.traceLength = ctx_.trace().size();
+    req.simpoint = opts_.simpoint;
+    req.indices = task->indices;
+    const serve::SimulateBatchReply reply = w.client.simulateBatch(req);
+    if (reply.simpoint != opts_.simpoint)
+        throw serve::ServeError(serve::ErrCode::Internal,
+                                "reply mode does not match the request");
+
+    w.consecutiveFailures.store(0);
+    w.open.store(false);
+
+    // First reply wins: a hedged duplicate that lost the race drops
+    // its (identical) answer here.
+    if (!task->done.exchange(true, std::memory_order_acq_rel)) {
+        if (reply.simpoint) {
+            for (size_t i = 0; i < task->indices.size(); ++i)
+                ctx_.injectSimPointEstimate(task->indices[i],
+                                            reply.ipc[i]);
+        } else {
+            for (size_t i = 0; i < task->indices.size(); ++i)
+                ctx_.injectResult(task->indices[i], reply.results[i]);
+        }
+        counters_.completed.fetch_add(1);
+        registry.add(rm.completed);
+    }
+
+    const uint64_t wall = nowNs() - t0;
+    registry.observe(rm.batchWallNs, wall);
+    registry.observe(w.latency, wall);
+    return true;
+}
+
+} // namespace remote
+} // namespace dse

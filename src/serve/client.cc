@@ -9,13 +9,18 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
+
+#include "util/env.hh"
 
 namespace dse {
 namespace serve {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 [[noreturn]] void
 transportError(const std::string &what)
@@ -23,7 +28,43 @@ transportError(const std::string &what)
     throw ServeError(ErrCode::Internal, what);
 }
 
+[[noreturn]] void
+timeoutError(const std::string &what)
+{
+    throw ServeError(ErrCode::Timeout, what);
+}
+
+[[noreturn]] void
+disconnectedError(const std::string &what)
+{
+    throw ServeError(ErrCode::Disconnected, what);
+}
+
+/** Milliseconds left before @p deadline, clamped to >= 0. A poll()
+ *  with the result can therefore never block unboundedly. */
+int
+remainingMs(Clock::time_point deadline)
+{
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0)
+        return 0;
+    if (left.count() > 3600000)
+        return 3600000;
+    return static_cast<int>(left.count());
+}
+
 } // namespace
+
+int
+Client::defaultTimeoutMs()
+{
+    const long long ms = envInt("DSE_SERVE_TIMEOUT_MS", 30000);
+    return ms > 0 ? static_cast<int>(ms) : 30000;
+}
+
+Client::Client() : timeoutMs_(defaultTimeoutMs())
+{}
 
 Client::~Client()
 {
@@ -64,6 +105,8 @@ void
 Client::connect(const std::string &host, uint16_t port, int timeout_ms)
 {
     close();
+    if (timeout_ms <= 0)
+        timeout_ms = timeoutMs_;
 
     sockaddr_in sin{};
     sin.sin_family = AF_INET;
@@ -89,21 +132,33 @@ Client::connect(const std::string &host, uint16_t port, int timeout_ms)
         rc = poll(&pfd, 1, timeout_ms);
         if (rc <= 0) {
             close();
-            transportError("connect timeout to " + host + ":" +
-                           std::to_string(port));
+            timeoutError("connect timeout to " + host + ":" +
+                         std::to_string(port));
         }
         int err = 0;
         socklen_t len = sizeof(err);
         getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
         if (err != 0) {
             close();
+            if (err == ECONNREFUSED || err == ECONNRESET ||
+                err == EPIPE || err == EHOSTUNREACH ||
+                err == ENETUNREACH) {
+                disconnectedError(std::string("connect failed: ") +
+                                  std::strerror(err));
+            }
             transportError(std::string("connect failed: ") +
                            std::strerror(err));
         }
     } else if (rc != 0) {
-        const std::string err = std::strerror(errno);
+        const int err = errno;
         close();
-        transportError("connect failed: " + err);
+        if (err == ECONNREFUSED || err == ECONNRESET ||
+            err == EHOSTUNREACH || err == ENETUNREACH) {
+            disconnectedError(std::string("connect failed: ") +
+                              std::strerror(err));
+        }
+        transportError(std::string("connect failed: ") +
+                       std::strerror(err));
     }
     const int one = 1;
     setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -113,25 +168,34 @@ void
 Client::sendRaw(const void *data, size_t n)
 {
     if (fd_ < 0)
-        transportError("not connected");
+        disconnectedError("not connected");
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeoutMs_);
     const char *p = static_cast<const char *>(data);
     size_t off = 0;
     while (off < n) {
-        // MSG_NOSIGNAL: a dropped peer must raise EPIPE through
-        // transportError, not SIGPIPE the host process.
+        // MSG_NOSIGNAL: a dropped peer must raise EPIPE through a
+        // structured error, not SIGPIPE the host process.
         const ssize_t w = send(fd_, p + off, n - off, MSG_NOSIGNAL);
         if (w > 0) {
             off += static_cast<size_t>(w);
             continue;
         }
         if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // Hard deadline across the whole send, not per poll: a
+            // peer that drains one byte per timeout window cannot
+            // stretch the operation unboundedly.
+            const int left = remainingMs(deadline);
             pollfd pfd{fd_, POLLOUT, 0};
-            if (poll(&pfd, 1, timeoutMs_) <= 0)
-                transportError("send timeout");
+            if (left == 0 || poll(&pfd, 1, left) == 0)
+                timeoutError("send timeout");
             continue;
         }
         if (w < 0 && errno == EINTR)
             continue;
+        if (w < 0 && (errno == EPIPE || errno == ECONNRESET))
+            disconnectedError(std::string("send failed: ") +
+                              std::strerror(errno));
         transportError(std::string("send failed: ") +
                        std::strerror(errno));
     }
@@ -150,7 +214,9 @@ std::optional<Frame>
 Client::recvFrame()
 {
     if (fd_ < 0)
-        transportError("not connected");
+        disconnectedError("not connected");
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeoutMs_);
     char buf[65536];
     for (;;) {
         Frame frame;
@@ -164,10 +230,13 @@ Client::recvFrame()
         if (st != DecodeStatus::NeedMore)
             transportError("corrupt frame from server");
 
+        // One deadline across the whole frame: a server trickling a
+        // byte per poll window cannot hold the client past timeoutMs_.
+        const int left = remainingMs(deadline);
         pollfd pfd{fd_, POLLIN, 0};
-        const int rc = poll(&pfd, 1, timeoutMs_);
+        const int rc = left == 0 ? 0 : poll(&pfd, 1, left);
         if (rc == 0)
-            transportError("receive timeout");
+            timeoutError("receive timeout");
         if (rc < 0 && errno != EINTR)
             transportError("poll failed");
         const ssize_t n = read(fd_, buf, sizeof(buf));
@@ -177,6 +246,9 @@ Client::recvFrame()
             if (errno == EAGAIN || errno == EWOULDBLOCK ||
                 errno == EINTR)
                 continue;
+            if (errno == ECONNRESET || errno == EPIPE)
+                disconnectedError(std::string("recv failed: ") +
+                                  std::strerror(errno));
             transportError(std::string("recv failed: ") +
                            std::strerror(errno));
         }
@@ -190,7 +262,7 @@ Client::expectReply(uint64_t id, MsgType want)
     for (;;) {
         auto frame = recvFrame();
         if (!frame)
-            transportError("server closed the connection");
+            disconnectedError("server closed the connection");
         if (frame->id != id && frame->id != 0)
             continue;  // stale reply from an abandoned request
         if (frame->type == MsgType::Error) {
@@ -262,6 +334,18 @@ Client::modelInfo()
     if (!ModelInfoReply::decode(reply.payload, info))
         transportError("undecodable ModelInfo reply");
     return info;
+}
+
+SimulateBatchReply
+Client::simulateBatch(const SimulateBatchRequest &req)
+{
+    const uint64_t id = sendFrame(MsgType::SimulateBatch, req.encode());
+    const Frame reply = expectReply(id, MsgType::SimulateBatchReply);
+    SimulateBatchReply out;
+    if (!SimulateBatchReply::decode(reply.payload, out) ||
+        out.points() != req.indices.size())
+        transportError("undecodable SimulateBatchReply");
+    return out;
 }
 
 StatsReply

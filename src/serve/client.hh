@@ -25,7 +25,10 @@ namespace dse {
 namespace serve {
 
 /** A structured Error reply (or transport failure) raised by the
- *  typed helpers. code is ErrCode::Internal for transport errors. */
+ *  typed helpers. Transport failures carry a structured code too:
+ *  ErrCode::Timeout when an operation deadline expired,
+ *  ErrCode::Disconnected when the peer closed or reset the
+ *  connection, ErrCode::Internal for anything else. */
 class ServeError : public std::runtime_error
 {
   public:
@@ -44,7 +47,7 @@ class ServeError : public std::runtime_error
 class Client
 {
   public:
-    Client() = default;
+    Client();
     ~Client();
 
     Client(const Client &) = delete;
@@ -53,17 +56,30 @@ class Client
     Client &operator=(Client &&other) noexcept;
 
     /**
-     * Connect to host:port.
-     * @throws ServeError (Internal) when the connection fails
+     * Connect to host:port under a hard poll-based deadline.
+     * @param timeout_ms connect deadline; <= 0 = the per-operation
+     *        timeout (DSE_SERVE_TIMEOUT_MS / setTimeout)
+     * @throws ServeError (Timeout/Disconnected/Internal) on failure
      */
     void connect(const std::string &host, uint16_t port,
-                 int timeout_ms = 5000);
+                 int timeout_ms = 0);
 
     bool connected() const { return fd_ >= 0; }
     void close();
 
-    /** Per-operation receive timeout (default 30 s). */
-    void setTimeout(int ms) { timeoutMs_ = ms; }
+    /**
+     * Per-operation deadline. Every typed helper — and every low-level
+     * send/recv — completes or raises ServeError(Timeout) within this
+     * budget; there is no code path that blocks indefinitely on a dead
+     * peer. Defaults to DSE_SERVE_TIMEOUT_MS (30 s when unset); values
+     * <= 0 clamp to 1 ms so a deadline always exists.
+     */
+    void setTimeout(int ms) { timeoutMs_ = ms > 0 ? ms : 1; }
+    int timeout() const { return timeoutMs_; }
+
+    /** The process-wide default deadline: DSE_SERVE_TIMEOUT_MS when
+     *  set (> 0), else 30000 ms. */
+    static int defaultTimeoutMs();
 
     /// @name Typed helpers. Each sends one request and blocks for its
     /// reply; an Error reply becomes a ServeError.
@@ -86,6 +102,10 @@ class Client
     ModelInfoReply modelInfo();
     StatsReply stats();
 
+    /** Remotely simulate a batch of design points (dse::remote
+     *  workers); results are bit-identical to local simulation. */
+    SimulateBatchReply simulateBatch(const SimulateBatchRequest &req);
+
     /// @}
 
     /// @name Low-level access (fuzz tests, pipelining experiments).
@@ -98,8 +118,10 @@ class Client
     uint64_t sendFrame(MsgType type, std::string_view payload);
 
     /**
-     * Receive one frame. nullopt = orderly EOF (server closed).
-     * @throws ServeError (Internal) on timeout or transport failure
+     * Receive one frame under the operation deadline.
+     * nullopt = orderly EOF (server closed).
+     * @throws ServeError (Timeout) when the deadline expires,
+     *         (Disconnected) on reset, (Internal) otherwise
      */
     std::optional<Frame> recvFrame();
 

@@ -56,6 +56,8 @@ errCodeName(ErrCode code)
       case ErrCode::Overloaded: return "overloaded";
       case ErrCode::ShuttingDown: return "shutting_down";
       case ErrCode::Internal: return "internal";
+      case ErrCode::Timeout: return "timeout";
+      case ErrCode::Disconnected: return "disconnected";
     }
     return "unknown";
 }
@@ -390,6 +392,132 @@ StatsReply::decode(std::string_view payload, StatsReply &out)
     out.connectionsAccepted = r.u64();
     out.activeConnections = r.u64();
     out.queueDepth = r.u64();
+    return r.atEnd();
+}
+
+std::string
+SimulateBatchRequest::encode() const
+{
+    WireWriter w;
+    w.u8(study);
+    w.str(app);
+    w.u64(traceLength);
+    w.u8(simpoint ? 1 : 0);
+    w.u32(static_cast<uint32_t>(indices.size()));
+    for (uint64_t idx : indices)
+        w.u64(idx);
+    return w.take();
+}
+
+bool
+SimulateBatchRequest::decode(std::string_view payload,
+                             SimulateBatchRequest &out)
+{
+    WireReader r(payload);
+    out.study = r.u8();
+    out.app = r.str();
+    out.traceLength = r.u64();
+    out.simpoint = r.u8() != 0;
+    const uint32_t n = r.u32();
+    // Divide-side validation (as in PredictPointsRequest): the index
+    // count must exactly account for the remaining bytes, checked
+    // without a multiply that could wrap on a hostile count.
+    if (!r.ok() || n == 0 || r.remaining() % 8 != 0 ||
+        n != r.remaining() / 8)
+        return false;
+    out.indices.resize(n);
+    for (auto &idx : out.indices)
+        idx = r.u64();
+    return r.atEnd();
+}
+
+namespace {
+
+/** SimResult fields on the wire, in declaration order (the same 15
+ *  fixed 8-byte fields the journal persists). */
+constexpr size_t kSimResultWireBytes = 15 * 8;
+
+void
+putSimResult(WireWriter &w, const sim::SimResult &r)
+{
+    w.u64(r.cycles);
+    w.u64(r.instructions);
+    w.f64(r.ipc);
+    w.f64(r.l1dMissRate);
+    w.f64(r.l2MissRate);
+    w.f64(r.l1iMissRate);
+    w.f64(r.branchMispredictRate);
+    w.u64(r.l1dAccesses);
+    w.u64(r.l1dMisses);
+    w.u64(r.l2Accesses);
+    w.u64(r.l2Misses);
+    w.u64(r.l1iAccesses);
+    w.u64(r.l1iMisses);
+    w.u64(r.branches);
+    w.u64(r.branchMispredicts);
+}
+
+sim::SimResult
+getSimResult(WireReader &r)
+{
+    sim::SimResult out;
+    out.cycles = r.u64();
+    out.instructions = r.u64();
+    out.ipc = r.f64();
+    out.l1dMissRate = r.f64();
+    out.l2MissRate = r.f64();
+    out.l1iMissRate = r.f64();
+    out.branchMispredictRate = r.f64();
+    out.l1dAccesses = r.u64();
+    out.l1dMisses = r.u64();
+    out.l2Accesses = r.u64();
+    out.l2Misses = r.u64();
+    out.l1iAccesses = r.u64();
+    out.l1iMisses = r.u64();
+    out.branches = r.u64();
+    out.branchMispredicts = r.u64();
+    return out;
+}
+
+} // namespace
+
+std::string
+SimulateBatchReply::encode() const
+{
+    WireWriter w;
+    w.u8(simpoint ? 1 : 0);
+    w.u32(static_cast<uint32_t>(points()));
+    if (simpoint) {
+        for (double v : ipc)
+            w.f64(v);
+    } else {
+        for (const auto &r : results)
+            putSimResult(w, r);
+    }
+    return w.take();
+}
+
+bool
+SimulateBatchReply::decode(std::string_view payload,
+                           SimulateBatchReply &out)
+{
+    WireReader r(payload);
+    out.simpoint = r.u8() != 0;
+    const uint32_t n = r.u32();
+    const size_t per = out.simpoint ? 8 : kSimResultWireBytes;
+    if (!r.ok() || r.remaining() % per != 0 || n != r.remaining() / per)
+        return false;
+    out.results.clear();
+    out.ipc.clear();
+    if (out.simpoint) {
+        out.ipc.resize(n);
+        for (auto &v : out.ipc)
+            v = r.f64();
+    } else {
+        out.results.reserve(n);
+        for (uint32_t i = 0; i < n; ++i)
+            out.results.push_back(getSimResult(r));
+    }
     return r.atEnd();
 }
 

@@ -44,6 +44,8 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/config.hh"
+
 namespace dse {
 namespace serve {
 
@@ -68,12 +70,14 @@ enum class MsgType : uint16_t {
     PredictRange = 4,
     ModelInfo = 5,
     Stats = 6,
+    SimulateBatch = 7,
     // replies
     Pong = 16,
     ModelLoaded = 17,
     Predictions = 18,
     ModelInfoReply = 19,
     StatsReply = 20,
+    SimulateBatchReply = 21,
     Error = 31,
 };
 
@@ -96,6 +100,11 @@ enum class ErrCode : uint16_t {
     Overloaded = 7,     ///< request queue full — back off and retry
     ShuttingDown = 8,   ///< server is draining
     Internal = 9,       ///< server-side failure (message has details)
+    // Client-side transport outcomes (never sent on the wire; raised
+    // by serve::Client so callers can tell a deadline expiry from a
+    // dead peer and react differently — retry elsewhere vs. reconnect).
+    Timeout = 10,       ///< operation deadline expired
+    Disconnected = 11,  ///< peer closed/reset the connection
 };
 
 /** Human-readable name of an error code (stable, for logs/tests). */
@@ -294,6 +303,47 @@ struct StatsReply
 
     std::string encode() const;
     static bool decode(std::string_view payload, StatsReply &out);
+};
+
+/**
+ * SimulateBatch request: farm a batch of design-point simulations out
+ * to a remote worker (dse::remote). The worker reconstructs the same
+ * StudyContext identity — (study, app, trace length) — so simulation
+ * is the same pure function on both sides, and results travel as raw
+ * IEEE-754 bit patterns: a remotely simulated point is bit-identical
+ * to a locally simulated one.
+ */
+struct SimulateBatchRequest
+{
+    uint8_t study = 0;      ///< study::StudyKind as an integer
+    std::string app;        ///< benchmark name
+    uint64_t traceLength = 0;  ///< 0 = library default
+    bool simpoint = false;  ///< SimPoint estimates instead of full sims
+    std::vector<uint64_t> indices;  ///< design-point indices
+
+    std::string encode() const;
+    static bool decode(std::string_view payload, SimulateBatchRequest &out);
+};
+
+/**
+ * SimulateBatchReply: one result per requested index, in request
+ * order. Full mode carries complete SimResult records (the same 15
+ * fixed fields the journal persists) so the dispatcher can merge them
+ * into the study memo cache exactly as if simulated locally; SimPoint
+ * mode carries only the calibrated IPC estimate.
+ */
+struct SimulateBatchReply
+{
+    bool simpoint = false;
+    std::vector<sim::SimResult> results;  ///< full mode (simpoint false)
+    std::vector<double> ipc;              ///< simpoint mode
+
+    size_t points() const
+    {
+        return simpoint ? ipc.size() : results.size();
+    }
+    std::string encode() const;
+    static bool decode(std::string_view payload, SimulateBatchReply &out);
 };
 
 /** Error reply: structured code + human-readable detail. */

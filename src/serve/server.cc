@@ -147,6 +147,15 @@ Server::model() const
 }
 
 void
+Server::setSimulateHandler(SimulateHandler handler)
+{
+    auto shared =
+        std::make_shared<const SimulateHandler>(std::move(handler));
+    std::lock_guard<std::mutex> lock(modelMu_);
+    simulateHandler_ = std::move(shared);
+}
+
+void
 Server::start()
 {
     if (running_.load())
@@ -912,9 +921,52 @@ Server::handleOne(const Request &req)
       case MsgType::LoadModel:
         handleLoadModel(req);
         return;
+      case MsgType::SimulateBatch:
+        handleSimulateBatch(req);
+        return;
       default:
         sendError(req.conn, req.frame.id, ErrCode::BadRequest,
                   "unknown request type");
+        return;
+    }
+}
+
+void
+Server::handleSimulateBatch(const Request &req)
+{
+    SimulateBatchRequest sim;
+    if (!SimulateBatchRequest::decode(req.frame.payload, sim)) {
+        sendError(req.conn, req.frame.id, ErrCode::BadRequest,
+                  "malformed SimulateBatch payload");
+        return;
+    }
+    std::shared_ptr<const SimulateHandler> handler;
+    {
+        std::lock_guard<std::mutex> lock(modelMu_);
+        handler = simulateHandler_;
+    }
+    if (!handler || !*handler) {
+        sendError(req.conn, req.frame.id, ErrCode::BadRequest,
+                  "this server does not simulate (no handler)");
+        return;
+    }
+    SimulateBatchReply reply;
+    std::string error;
+    switch ((*handler)(sim, reply, error)) {
+      case SimulateVerdict::Reply:
+        sendReply(req.conn, MsgType::SimulateBatchReply, req.frame.id,
+                  reply.encode());
+        return;
+      case SimulateVerdict::BadRequest:
+        sendError(req.conn, req.frame.id, ErrCode::BadRequest, error);
+        return;
+      case SimulateVerdict::Crash:
+        // In-process crash emulation: mute the connection (the client
+        // sees a timeout, then EOF at close) and take the whole server
+        // down so reconnects are refused — indistinguishable from a
+        // SIGKILLed worker daemon to the dispatcher.
+        req.conn->closed.store(true, std::memory_order_release);
+        requestStop();
         return;
     }
 }

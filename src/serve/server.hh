@@ -40,6 +40,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -87,6 +88,22 @@ struct ServerOptions
     static ServerOptions fromEnv();
 };
 
+/** Verdict returned by a simulate handler (dse::remote workers). */
+enum class SimulateVerdict : uint8_t {
+    Reply,       ///< send the filled SimulateBatchReply
+    BadRequest,  ///< send ErrCode::BadRequest carrying the message
+    Crash,       ///< emulate a worker crash: drop the connection
+                 ///< without a reply and stop the server, so the
+                 ///< client sees silence then refused reconnects —
+                 ///< exactly what a SIGKILLed daemon looks like
+};
+
+/** Handler a simulation worker installs for SimulateBatch requests.
+ *  Runs on the server's worker pool; must be thread-safe. */
+using SimulateHandler = std::function<SimulateVerdict(
+    const SimulateBatchRequest &req, SimulateBatchReply &reply,
+    std::string &error)>;
+
 /** The model a server instance serves (swapped atomically as a unit
  *  so in-flight requests keep a consistent view). */
 struct ModelState
@@ -113,6 +130,10 @@ class Server
 
     /** Current model (nullptr ensemble when none loaded). */
     std::shared_ptr<const ModelState> model() const;
+
+    /** Install the SimulateBatch handler (dse::remote::SimWorker).
+     *  Without one, SimulateBatch requests get BadRequest. */
+    void setSimulateHandler(SimulateHandler handler);
 
     /** Bind, listen, and spawn the I/O thread and worker pool.
      *  @throws std::runtime_error when the address cannot be bound */
@@ -192,6 +213,7 @@ class Server
     void handleOne(const Request &req);
     void handlePredictPoints(std::vector<Request> &group);
     void handleLoadModel(const Request &req);
+    void handleSimulateBatch(const Request &req);
     std::string buildModelInfo() const;
 
     /** Append an encoded frame to a connection's outbox and wake the
@@ -218,6 +240,7 @@ class Server
 
     mutable std::mutex modelMu_;
     std::shared_ptr<const ModelState> model_;
+    std::shared_ptr<const SimulateHandler> simulateHandler_;
 
     // Bounded request queue.
     mutable std::mutex queueMu_;

@@ -222,6 +222,42 @@ StudyContext::config(uint64_t index) const
     return configFor(kind_, space_, space_.levels(index));
 }
 
+void
+StudyContext::injectResult(uint64_t index, const sim::SimResult &result)
+{
+    auto &shard = shardFor(cache_, index);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.map.emplace(index, result);
+    // Journal the winning insert exactly like a local simulation —
+    // the journal records results, not where they were computed.
+    if (inserted && journal_)
+        journal_->append(index, it->second);
+}
+
+void
+StudyContext::injectSimPointEstimate(uint64_t index, double ipc)
+{
+    auto &shard = shardFor(simPointCache_, index);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.emplace(index, ipc);
+}
+
+bool
+StudyContext::hasResult(uint64_t index) const
+{
+    const auto &shard = shardFor(cache_, index);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.map.count(index) != 0;
+}
+
+bool
+StudyContext::hasSimPointEstimate(uint64_t index) const
+{
+    const auto &shard = shardFor(simPointCache_, index);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.map.count(index) != 0;
+}
+
 const simpoint::SimPoints &
 StudyContext::simPoints()
 {

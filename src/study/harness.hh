@@ -93,6 +93,32 @@ class StudyContext
     /** Machine configuration of a design point. */
     sim::MachineConfig config(uint64_t index) const;
 
+    /// @name Remote-result injection (dse::remote::RemoteDispatcher).
+    /// Simulation is a pure function of (trace, config), so a result
+    /// computed by a worker with the same (study, app, trace length)
+    /// identity is bit-identical to a local one; injecting it into the
+    /// memo cache makes remote sourcing invisible to every consumer.
+    /// Injected results are journaled (they are real results) but do
+    /// NOT count toward simulationsExecuted() — that counter stays
+    /// "work this process did".
+    /// @{
+
+    /** Merge a remotely computed detailed result into the memo cache.
+     *  A concurrent local result for the same index wins harmlessly
+     *  (the values are identical by purity). */
+    void injectResult(uint64_t index, const sim::SimResult &result);
+
+    /** Merge a remotely computed calibrated SimPoint IPC estimate. */
+    void injectSimPointEstimate(uint64_t index, double ipc);
+
+    /** True if a detailed result for @p index is memoized. */
+    bool hasResult(uint64_t index) const;
+
+    /** True if a SimPoint estimate for @p index is memoized. */
+    bool hasSimPointEstimate(uint64_t index) const;
+
+    /// @}
+
     /** Number of distinct detailed simulations performed so far
      *  (memoized results, including any replayed from a journal). */
     size_t simulationsRun() const;
@@ -162,6 +188,14 @@ class StudyContext
     template <typename V>
     static CacheShard<V> &
     shardFor(std::array<CacheShard<V>, kCacheShards> &shards,
+             uint64_t index)
+    {
+        return shards[index % kCacheShards];
+    }
+
+    template <typename V>
+    static const CacheShard<V> &
+    shardFor(const std::array<CacheShard<V>, kCacheShards> &shards,
              uint64_t index)
     {
         return shards[index % kCacheShards];

@@ -46,6 +46,9 @@ FAULT_SITES = {
     "serve.accept",  # prediction-service accept path
     "serve.read",    # prediction-service socket reads
     "serve.write",   # prediction-service socket writes
+    "remote.conn.drop",     # dispatcher: drop before a batch attempt
+    "remote.conn.delay",    # worker: stall a batch reply
+    "remote.worker.crash",  # worker: die mid-request, no reply
 }
 # tests/ is excluded deliberately: the obs suite registers
 # intentionally-invalid names to prove registration rejects them.

@@ -24,6 +24,7 @@
 
 #include "ml/explorer.hh"
 #include "ml/io.hh"
+#include "remote/dispatcher.hh"
 #include "study/harness.hh"
 #include "util/metrics.hh"
 #include "workload/profile.hh"
@@ -49,6 +50,7 @@ struct Options
     int maxEpochs = 5000;
     bool metrics = false;
     std::string metricsPath;  ///< empty = table on stdout
+    std::string workers;      ///< host:port,... (also DSE_WORKERS)
 };
 
 void
@@ -67,6 +69,9 @@ usage()
         "  --save-model=<path>        write the trained ensemble\n"
         "  --load-model=<path>        skip training, load a model\n"
         "  --predict=<index>          predict a design point (repeat)\n"
+        "  --workers=<host:port,...>  remote simulation workers\n"
+        "                             (default $DSE_WORKERS; failures\n"
+        "                             fall back to local simulation)\n"
         "  --describe-space           print the space and exit\n"
         "  --list-apps                print benchmark names and exit\n"
         "  --metrics[=path]           collect dse::obs metrics; print a\n"
@@ -120,6 +125,8 @@ parse(int argc, char **argv, Options &opts)
         } else if (parseArg(arg, "--predict", value)) {
             opts.predictIndices.push_back(
                 static_cast<uint64_t>(std::atoll(value.c_str())));
+        } else if (parseArg(arg, "--workers", value)) {
+            opts.workers = value;
         } else if (std::strcmp(arg, "--metrics") == 0) {
             opts.metrics = true;
         } else if (parseArg(arg, "--metrics", value)) {
@@ -238,6 +245,23 @@ run(int argc, char **argv)
         eopts.activeLearning = opts.active;
         eopts.train.maxEpochs = opts.maxEpochs;
 
+        remote::DispatcherOptions dopts =
+            remote::DispatcherOptions::fromEnv();
+        if (!opts.workers.empty())
+            dopts.endpoints = remote::parseEndpoints(opts.workers);
+        dopts.simpoint = opts.simpoint;
+        std::unique_ptr<remote::RemoteDispatcher> dispatcher;
+        if (!dopts.endpoints.empty()) {
+            dispatcher = std::make_unique<remote::RemoteDispatcher>(
+                ctx, dopts);
+            std::printf("remote: %zu simulation worker(s); failures "
+                        "fall back to local simulation\n",
+                        dopts.endpoints.size());
+            eopts.prefetch = [&](const std::vector<uint64_t> &batch) {
+                dispatcher->prefetch(batch);
+            };
+        }
+
         auto simulate = [&](uint64_t i) {
             return opts.simpoint ? ctx.simulateSimPointIpc(i)
                                  : ctx.simulateIpc(i);
@@ -253,6 +277,18 @@ run(int argc, char **argv)
         std::printf("done: %zu simulations%s\n",
                     explorer.sampledIndices().size(),
                     opts.simpoint ? " (SimPoint estimates)" : "");
+        if (dispatcher) {
+            const auto st = dispatcher->stats();
+            std::printf("remote: %llu dispatched, %llu completed, "
+                        "%llu retries, %llu hedges, %llu redispatches, "
+                        "%llu local fallbacks\n",
+                        static_cast<unsigned long long>(st.dispatched),
+                        static_cast<unsigned long long>(st.completed),
+                        static_cast<unsigned long long>(st.retries),
+                        static_cast<unsigned long long>(st.hedges),
+                        static_cast<unsigned long long>(st.redispatches),
+                        static_cast<unsigned long long>(st.fallbacks));
+        }
     }
 
     if (!opts.saveModel.empty()) {

@@ -121,7 +121,11 @@ struct WorkerResult
     std::vector<uint64_t> latenciesNs;
     uint64_t requests = 0;
     uint64_t predictions = 0;
-    uint64_t errors = 0;
+    uint64_t overloaded = 0;       ///< queue-full refusals (retried)
+    uint64_t timeouts = 0;         ///< deadline expiries (reconnect)
+    uint64_t disconnects = 0;      ///< peer closed/reset (reconnect)
+    uint64_t connectFailures = 0;  ///< failed connect attempts
+    uint64_t errors = 0;           ///< anything not classified above
 };
 
 double
@@ -163,33 +167,63 @@ run(int argc, char **argv)
         throw std::invalid_argument("--port or --port-file required");
 
     // Probe the model once: feature width for PredictPoints payloads,
-    // space size to bound PredictRange offsets.
-    serve::Client probe;
-    probe.connect(opts.host, opts.port);
-    const auto info = probe.modelInfo();
-    if (info.inputs == 0)
-        throw std::invalid_argument("server has no model loaded");
-    if (opts.range > 0 && info.spaceSize == 0)
-        throw std::invalid_argument(
-            "--range needs a server-side design space");
-    probe.close();
-    const size_t width = info.inputs;
+    // space size to bound PredictRange offsets. An unreachable server
+    // is an outcome the report must show, not a crash: retry briefly,
+    // then emit an all-zero report with the failures counted.
+    size_t width = 0;
+    uint64_t spaceSize = 0;
+    uint64_t probeFailures = 0;
+    for (int tries = 0; tries < 5 && width == 0; ++tries) {
+        serve::Client probe;
+        try {
+            probe.connect(opts.host, opts.port);
+            const auto info = probe.modelInfo();
+            if (info.inputs == 0)
+                throw std::invalid_argument(
+                    "server has no model loaded");
+            if (opts.range > 0 && info.spaceSize == 0)
+                throw std::invalid_argument(
+                    "--range needs a server-side design space");
+            width = info.inputs;
+            spaceSize = info.spaceSize;
+        } catch (const std::invalid_argument &) {
+            throw;  // a usage error, not an availability outcome
+        } catch (const std::exception &) {
+            ++probeFailures;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10 << tries));
+        }
+    }
 
     std::vector<WorkerResult> results(opts.connections);
     std::vector<std::thread> threads;
     std::atomic<bool> deadline{false};
 
     const auto t0 = Clock::now();
-    for (size_t c = 0; c < opts.connections; ++c) {
+    for (size_t c = 0; width > 0 && c < opts.connections; ++c) {
         threads.emplace_back([&, c] {
             WorkerResult &res = results[c];
             serve::Client client;
-            try {
-                client.connect(opts.host, opts.port);
-            } catch (const std::exception &) {
-                ++res.errors;
+            // A refused or flaky connect is an outcome to report, not
+            // a reason to kill the whole run: retry with a short
+            // backoff, then give up on this connection only.
+            auto reconnect = [&]() -> bool {
+                for (int tries = 0; tries < 5; ++tries) {
+                    if (deadline.load(std::memory_order_relaxed))
+                        return false;
+                    try {
+                        client.connect(opts.host, opts.port);
+                        return true;
+                    } catch (const std::exception &) {
+                        ++res.connectFailures;
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(10 << tries));
+                    }
+                }
+                return false;
+            };
+            if (!reconnect())
                 return;
-            }
             // Deterministic per-connection feature pattern inside the
             // encoder's [0,1] range; values only need to be valid,
             // not meaningful, to exercise the prediction path.
@@ -209,7 +243,7 @@ run(int argc, char **argv)
                     if (opts.range > 0) {
                         const uint64_t first =
                             (r * opts.range) %
-                            (info.spaceSize - opts.range + 1);
+                            (spaceSize - opts.range + 1);
                         client.predictRange(first, opts.range);
                         res.predictions += opts.range;
                     } else {
@@ -218,13 +252,30 @@ run(int argc, char **argv)
                         res.predictions += opts.points;
                     }
                 } catch (const serve::ServeError &e) {
-                    // Overloaded is the server doing its job; retry.
-                    if (e.code() == serve::ErrCode::Overloaded) {
-                        ++res.errors;
+                    switch (e.code()) {
+                      case serve::ErrCode::Overloaded:
+                        // The server doing its job; just retry.
+                        ++res.overloaded;
                         continue;
+                      case serve::ErrCode::Timeout:
+                        // A reply may still be in flight; reusing the
+                        // stream would desynchronize correlation, so
+                        // reconnect clean.
+                        ++res.timeouts;
+                        client.close();
+                        if (!reconnect())
+                            return;
+                        continue;
+                      case serve::ErrCode::Disconnected:
+                        ++res.disconnects;
+                        client.close();
+                        if (!reconnect())
+                            return;
+                        continue;
+                      default:
+                        ++res.errors;
+                        return;
                     }
-                    ++res.errors;
-                    break;
                 }
                 const auto ns =
                     std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -247,15 +298,20 @@ run(int argc, char **argv)
 
     std::vector<uint64_t> all;
     uint64_t requests = 0, predictions = 0, errors = 0;
+    uint64_t overloaded = 0, timeouts = 0, disconnects = 0;
+    uint64_t connect_failures = 0;
     for (auto &res : results) {
         all.insert(all.end(), res.latenciesNs.begin(),
                    res.latenciesNs.end());
         requests += res.requests;
         predictions += res.predictions;
+        overloaded += res.overloaded;
+        timeouts += res.timeouts;
+        disconnects += res.disconnects;
+        connect_failures += res.connectFailures;
         errors += res.errors;
     }
-    if (requests == 0)
-        throw std::runtime_error("no request completed");
+    connect_failures += probeFailures;
     std::sort(all.begin(), all.end());
 
     const double p50 = percentile(all, 50), p95 = percentile(all, 95),
@@ -263,15 +319,23 @@ run(int argc, char **argv)
     double mean = 0;
     for (uint64_t v : all)
         mean += static_cast<double>(v);
-    mean /= static_cast<double>(all.size());
+    if (!all.empty())
+        mean /= static_cast<double>(all.size());
     const double rps = static_cast<double>(requests) / wallS;
     const double pps = static_cast<double>(predictions) / wallS;
 
     std::printf("%zu connections, %llu requests, %llu predictions "
-                "in %.2fs (%llu errors)\n",
+                "in %.2fs\n",
                 opts.connections,
                 static_cast<unsigned long long>(requests),
-                static_cast<unsigned long long>(predictions), wallS,
+                static_cast<unsigned long long>(predictions), wallS);
+    std::printf("outcomes: %llu overloaded, %llu timeouts, "
+                "%llu disconnects, %llu connect failures, "
+                "%llu other errors\n",
+                static_cast<unsigned long long>(overloaded),
+                static_cast<unsigned long long>(timeouts),
+                static_cast<unsigned long long>(disconnects),
+                static_cast<unsigned long long>(connect_failures),
                 static_cast<unsigned long long>(errors));
     std::printf("throughput: %.0f req/s, %.0f predictions/s\n", rps,
                 pps);
@@ -306,6 +370,10 @@ run(int argc, char **argv)
             "      \"latency_p50_ns\": %.1f,\n"
             "      \"latency_p95_ns\": %.1f,\n"
             "      \"latency_p99_ns\": %.1f,\n"
+            "      \"overloaded\": %llu,\n"
+            "      \"timeouts\": %llu,\n"
+            "      \"disconnects\": %llu,\n"
+            "      \"connect_failures\": %llu,\n"
             "      \"errors\": %llu\n"
             "    }\n"
             "  ]\n"
@@ -313,9 +381,19 @@ run(int argc, char **argv)
             opts.connections, opts.points, name.c_str(),
             static_cast<unsigned long long>(requests), mean, mean, rps,
             pps, p50, p95, p99,
+            static_cast<unsigned long long>(overloaded),
+            static_cast<unsigned long long>(timeouts),
+            static_cast<unsigned long long>(disconnects),
+            static_cast<unsigned long long>(connect_failures),
             static_cast<unsigned long long>(errors));
         std::fclose(f);
         std::printf("report written to %s\n", opts.jsonPath.c_str());
+    }
+    if (requests == 0) {
+        std::fprintf(stderr,
+                     "dse_loadgen: no request completed (see the "
+                     "outcome counters above)\n");
+        return 3;
     }
     return 0;
 }
