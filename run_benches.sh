@@ -14,7 +14,7 @@ echo "DSE_THREADS=$DSE_THREADS DSE_METRICS=$DSE_METRICS"
 # Google-Benchmark binaries also emit machine-readable JSON next to
 # this script (BENCH_<name>.json) so perf changes can be diffed against
 # the committed baselines (e.g. BENCH_ann.json for micro_ann).
-GBENCH_BINARIES="micro_ann fig_5_8_training_times"
+GBENCH_BINARIES="micro_ann micro_explore fig_5_8_training_times"
 
 # Gate a freshly written BENCH_<name>.json before it can replace the
 # committed baseline: it must parse as JSON and contain a non-empty
@@ -75,12 +75,22 @@ for b in build/bench/*; do
             # from the baseline host's — a FAIL here means "look
             # before committing the refreshed numbers", not "the run
             # is broken".
-            if [ "$out" = "BENCH_ann.json" ] &&
+            gate=()
+            case "$out" in
+              BENCH_ann.json)
+                gate=(--bench 'BM_AnnTrainStep/.*'
+                      --bench 'BM_EnsemblePredictSpace')
+                ;;
+              BENCH_explore.json)
+                gate=(--bench 'BM_MemberSpreadBatched/.*'
+                      --bench 'BM_PickBatch/.*')
+                ;;
+            esac
+            if [ "${#gate[@]}" -gt 0 ] &&
                 command -v python3 >/dev/null 2>&1 &&
                 git show "HEAD:$out" >"$out.base" 2>/dev/null; then
                 python3 tools/bench_compare.py "$out.base" "$out" \
-                    --bench 'BM_AnnTrainStep/.*' \
-                    --bench 'BM_EnsemblePredictSpace' ||
+                    "${gate[@]}" ||
                     echo "ADVISORY: $out regressed vs HEAD baseline" >&2
                 rm -f "$out.base"
             fi

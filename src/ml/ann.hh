@@ -122,7 +122,12 @@ stableSigmoid(double x)
     const double u1 = t2 + r4 * q6;
     const double p = u0 + r8 * u1;
     const double t = p * scale;  // e^{-|x|}, in (0, 1]
-    return x >= 0.0 ? 1.0 / (1.0 + t) : t / (1.0 + t);
+    // Both sign branches divide by the same 1 + t; selecting the
+    // numerator first keeps the result bit-identical per element
+    // while letting the vectorizer emit one division and a blend
+    // instead of two masked divisions.
+    const double num = x >= 0.0 ? 1.0 : t;
+    return num / (1.0 + t);
 }
 
 /**
@@ -141,7 +146,11 @@ class Ann
      * Points per internal block of the batched-prediction path: each
      * layer's weights are streamed once per block and reused for all
      * points in it, keeping weights and the block's activations
-     * L1-resident.
+     * L1-resident. Ensemble-level callers (predictBatch,
+     * memberSpreadBatch) transpose one kBlock panel and run every
+     * member over it; predictBlockT's per-thread scratch is sized
+     * 2 * maxLayerWidth * kBlock doubles, so kBlock also bounds
+     * per-thread scratch growth.
      */
     static constexpr size_t kBlock = 64;
 
@@ -180,7 +189,8 @@ class Ann
      * Low-level batched forward pass on one pre-transposed block:
      * @p xT is [inputs()][nb] (coordinate-major), @p yT is
      * [outputs()][nb]; nb must be in [1, kBlock]. Lets ensemble-level
-     * callers transpose a block once and reuse it across member
+     * callers (mean prediction and committee member-spread scoring
+     * alike) transpose a block once and reuse it across member
      * networks. For nb == 1 this reads the input in place (a plain
      * feature vector is its own 1-column transpose).
      */

@@ -108,6 +108,28 @@ evalError(const Ann &net, const DataSet &data, const TargetScaler &scaler,
     return sum / static_cast<double>(n);
 }
 
+/**
+ * Encode rows [0, m) of an index list into @p out (row-major
+ * [m x encodedWidth()]). Full-space sweeps hand us consecutive
+ * indices; encode those odometer-style (bit-identical to
+ * encodeIndexInto, no per-point divisions).
+ */
+void
+encodeChunk(const DesignSpace &space, const uint64_t *indices, size_t m,
+            double *out)
+{
+    const size_t width = static_cast<size_t>(space.encodedWidth());
+    bool consecutive = true;
+    for (size_t r = 1; r < m && consecutive; ++r)
+        consecutive = indices[r] == indices[0] + r;
+    if (consecutive) {
+        space.encodeRangeInto(indices[0], m, out);
+    } else {
+        for (size_t r = 0; r < m; ++r)
+            space.encodeIndexInto(indices[r], out + r * width);
+    }
+}
+
 } // namespace
 
 Ensemble::Ensemble(std::vector<Ann> nets, TargetScaler scaler,
@@ -173,26 +195,39 @@ Ensemble::predictIndices(const DesignSpace &space,
     // A few kBlock blocks per pool task; the chunk partition is fixed
     // (independent of thread count), so every floating-point
     // operation — and thus the result — is too.
-    constexpr size_t kChunk = 4 * Ann::kBlock;
-    const size_t chunks = (n + kChunk - 1) / kChunk;
+    const size_t chunks = (n + kScoreChunk - 1) / kScoreChunk;
     util::ThreadPool::global().parallelFor(0, chunks, [&](size_t c) {
-        const size_t lo = c * kChunk;
-        const size_t m = std::min(kChunk, n - lo);
+        const size_t lo = c * kScoreChunk;
+        const size_t m = std::min(kScoreChunk, n - lo);
         thread_local std::vector<double> xbuf;
-        if (xbuf.size() < kChunk * width)
-            xbuf.resize(kChunk * width);
-        // Full-space sweeps hand us consecutive indices; encode those
-        // odometer-style (bit-identical, no per-point divisions).
-        bool consecutive = true;
-        for (size_t r = 1; r < m && consecutive; ++r)
-            consecutive = indices[lo + r] == indices[lo] + r;
-        if (consecutive) {
-            space.encodeRangeInto(indices[lo], m, xbuf.data());
-        } else {
-            for (size_t r = 0; r < m; ++r)
-                space.encodeIndexInto(indices[lo + r],
-                                      xbuf.data() + r * width);
-        }
+        if (xbuf.size() < kScoreChunk * width)
+            xbuf.resize(kScoreChunk * width);
+        encodeChunk(space, indices.data() + lo, m, xbuf.data());
+        predictBatch(xbuf.data(), m, out.data() + lo);
+    });
+    return out;
+}
+
+std::vector<double>
+Ensemble::predictRange(const DesignSpace &space, uint64_t first,
+                       size_t count) const
+{
+    if (first > space.size() || count > space.size() - first)
+        throw std::out_of_range("predictRange outside the design space");
+    std::vector<double> out(count);
+    const size_t width = static_cast<size_t>(space.encodedWidth());
+    // Same fixed chunk partition as predictIndices, with the chunk's
+    // first index computed instead of loaded — so a sweep over
+    // [first, first + count) is bit-identical to predictIndices on
+    // the equivalent iota vector, without ever building that vector.
+    const size_t chunks = (count + kScoreChunk - 1) / kScoreChunk;
+    util::ThreadPool::global().parallelFor(0, chunks, [&](size_t c) {
+        const size_t lo = c * kScoreChunk;
+        const size_t m = std::min(kScoreChunk, count - lo);
+        thread_local std::vector<double> xbuf;
+        if (xbuf.size() < kScoreChunk * width)
+            xbuf.resize(kScoreChunk * width);
+        space.encodeRangeInto(first + lo, m, xbuf.data());
         predictBatch(xbuf.data(), m, out.data() + lo);
     });
     return out;
@@ -227,6 +262,91 @@ Ensemble::memberSpread(const std::vector<double> &features) const
     for (const auto &net : nets_)
         acc.add(scaler_.decode(net.predictScalar(features)));
     return acc.stddev();
+}
+
+void
+Ensemble::memberSpreadBatch(const double *x, size_t n, double *out) const
+{
+    const size_t in = static_cast<size_t>(nets_.front().inputs());
+    const size_t outs = static_cast<size_t>(nets_.front().outputs());
+    const size_t k = nets_.size();
+    constexpr size_t B = Ann::kBlock;
+    // xT panel + member-output block, per thread (the ensemble
+    // accumulator predictBatch carries is replaced by the per-point
+    // Welford state below).
+    thread_local std::vector<double> scratch;
+    const size_t need = (in + outs) * B;
+    if (scratch.size() < need)
+        scratch.resize(need);
+    double *xT = scratch.data();
+    double *tmp = xT + in * B;
+    // Scaler parameters hoisted into locals so the per-member decode
+    // below is TargetScaler::decode's exact expression — same
+    // subtractions, same division, same fused-nothing policy — but
+    // inlined into the point-parallel loop.
+    const double lo = scaler_.lo();
+    const double denom = scaler_.hi() - scaler_.lo();
+    const double raw_min = scaler_.rawMin();
+    const double raw_span = scaler_.rawMax() - scaler_.rawMin();
+    for (size_t at = 0; at < n; at += B) {
+        const size_t nb = std::min(B, n - at);
+        const double *xb = x + at * in;
+        for (size_t i = 0; i < in; ++i)
+            for (size_t b = 0; b < nb; ++b)
+                xT[i * nb + b] = xb[b * in + i];
+        // Structure-of-arrays Welford state, one lane per point in
+        // the block. Per point this performs OnlineStats::add's
+        // arithmetic (delta, mean += delta/count, m2 update — the
+        // min/max bookkeeping stddev never reads is dropped) on the
+        // members in nets_ order, so every point sees the exact
+        // decode/add sequence memberSpread() performs; laying the
+        // state out across points just lets the member fold
+        // vectorize instead of calling two out-of-line functions per
+        // member prediction.
+        double mean[B];
+        double m2[B];
+        for (size_t b = 0; b < nb; ++b) {
+            mean[b] = 0.0;
+            m2[b] = 0.0;
+        }
+        for (size_t m = 0; m < k; ++m) {
+            nets_[m].predictBlockT(xT, nb, tmp);
+            const double count = static_cast<double>(m + 1);
+            for (size_t b = 0; b < nb; ++b) {
+                const double v =
+                    raw_min + (tmp[b] - lo) / denom * raw_span;
+                const double delta = v - mean[b];
+                mean[b] += delta / count;
+                m2[b] += delta * (v - mean[b]);
+            }
+        }
+        // OnlineStats::stddev(): sqrt of the unbiased sample
+        // variance, 0 with fewer than two members.
+        for (size_t b = 0; b < nb; ++b)
+            out[at + b] = k < 2
+                ? 0.0
+                : std::sqrt(m2[b] / static_cast<double>(k - 1));
+    }
+}
+
+std::vector<double>
+Ensemble::memberSpreadIndices(const DesignSpace &space,
+                              const std::vector<uint64_t> &indices) const
+{
+    const size_t n = indices.size();
+    std::vector<double> out(n);
+    const size_t width = static_cast<size_t>(space.encodedWidth());
+    const size_t chunks = (n + kScoreChunk - 1) / kScoreChunk;
+    util::ThreadPool::global().parallelFor(0, chunks, [&](size_t c) {
+        const size_t lo = c * kScoreChunk;
+        const size_t m = std::min(kScoreChunk, n - lo);
+        thread_local std::vector<double> xbuf;
+        if (xbuf.size() < kScoreChunk * width)
+            xbuf.resize(kScoreChunk * width);
+        encodeChunk(space, indices.data() + lo, m, xbuf.data());
+        memberSpreadBatch(xbuf.data(), m, out.data() + lo);
+    });
+    return out;
 }
 
 Ensemble

@@ -129,6 +129,16 @@ class Ensemble
     void predictBatch(const double *x, size_t n, double *out) const;
 
     /**
+     * Points per parallel chunk of the index-addressed batch paths
+     * (predictIndices / predictRange / memberSpreadIndices): a few
+     * Ann::kBlock panels per pool task. The chunk partition is a pure
+     * function of the input length — never of DSE_THREADS — which is
+     * what makes every chunked result bit-identical at any thread
+     * count.
+     */
+    static constexpr size_t kScoreChunk = 4 * Ann::kBlock;
+
+    /**
      * Predict a set of design points addressed by flat index,
      * encoding and evaluating block-wise in parallel on the global
      * ThreadPool. The block partition is fixed (independent of
@@ -138,6 +148,17 @@ class Ensemble
     std::vector<double> predictIndices(
         const DesignSpace &space,
         const std::vector<uint64_t> &indices) const;
+
+    /**
+     * Streaming prediction of the consecutive index range
+     * [first, first + count): same fixed-chunk parallel evaluation as
+     * predictIndices on an iota vector — bit-identical to it — but
+     * the indices are implicit, so a full-space sweep never
+     * materializes an 8-byte-per-point index vector. Every chunk
+     * encodes through the odometer DesignSpace::encodeRangeInto.
+     */
+    std::vector<double> predictRange(const DesignSpace &space,
+                                     uint64_t first, size_t count) const;
 
     /** Prediction of a single member (ablation/diagnostics). */
     double predictMember(size_t i,
@@ -149,6 +170,30 @@ class Ensemble
      * extension samples where this is largest.
      */
     double memberSpread(const std::vector<double> &features) const;
+
+    /**
+     * Batched member spread: @p x is row-major [n x inputs], @p out
+     * receives the n sample SDs. Each block of Ann::kBlock points is
+     * transposed once into a coordinate-major panel and reused across
+     * all members (the predictBatch treatment applied to scoring);
+     * per point the member predictions fold through OnlineStats in
+     * member order, so every value is bit-for-bit the memberSpread()
+     * result. Thread-safe on a const ensemble.
+     */
+    void memberSpreadBatch(const double *x, size_t n, double *out) const;
+
+    /**
+     * Member spread of a set of design points addressed by flat
+     * index: encodes candidates in fixed kScoreChunk panels
+     * (odometer encodeRangeInto for consecutive runs, encodeIndexInto
+     * otherwise) and scores them via memberSpreadBatch in parallel on
+     * the global ThreadPool. Results are in input order and
+     * bit-identical to a memberSpread(space.encodeIndex(i)) loop at
+     * any thread count — the query-by-committee hot path.
+     */
+    std::vector<double> memberSpreadIndices(
+        const DesignSpace &space,
+        const std::vector<uint64_t> &indices) const;
 
     size_t members() const { return nets_.size(); }
 

@@ -1,7 +1,6 @@
 #include "ml/explorer.hh"
 
 #include <algorithm>
-#include <numeric>
 #include <stdexcept>
 
 #include "util/metrics.hh"
@@ -17,7 +16,7 @@ namespace {
 struct ExploreMetrics
 {
     obs::CounterId rounds, pointsSimulated, pointsPredicted,
-        pointsScored;
+        pointsScored, scoreChunks;
     obs::HistogramId encodeWallNs, predictWallNs, scoreWallNs;
 
     static const ExploreMetrics &
@@ -30,6 +29,7 @@ struct ExploreMetrics
             e.pointsSimulated = r.counter("explore.points_simulated");
             e.pointsPredicted = r.counter("explore.points_predicted");
             e.pointsScored = r.counter("explore.points_scored");
+            e.scoreChunks = r.counter("explore.score_chunks");
             e.encodeWallNs = r.histogram("explore.encode_wall_ns");
             e.predictWallNs = r.histogram("explore.predict_wall_ns");
             e.scoreWallNs = r.histogram("explore.score_wall_ns");
@@ -94,25 +94,42 @@ Explorer::pickBatch(size_t n)
         // member disagreement, keep the most uncertain points.
         std::vector<uint64_t> pool =
             draw_unseen(std::max(n, opts_.candidatePool));
-        std::vector<std::pair<double, uint64_t>> scored(pool.size());
+        std::vector<double> spread;
         {
             const auto &em = ExploreMetrics::get();
             obs::TraceScope span("score", em.scoreWallNs);
-            obs::MetricsRegistry::global().add(em.pointsScored,
-                                               pool.size());
-            util::ThreadPool::global().parallelFor(
-                0, pool.size(), [&](size_t i) {
-                    scored[i] = {ensemble_->memberSpread(
-                                     space_.encodeIndex(pool[i])),
-                                 pool[i]};
-                });
+            auto &registry = obs::MetricsRegistry::global();
+            registry.add(em.pointsScored, pool.size());
+            registry.add(em.scoreChunks,
+                         (pool.size() + Ensemble::kScoreChunk - 1) /
+                             Ensemble::kScoreChunk);
+            // Blocked committee scoring: bit-identical per point to
+            // memberSpread(space_.encodeIndex(i)) at any thread count.
+            spread = ensemble_->memberSpreadIndices(space_, pool);
         }
-        std::sort(scored.begin(), scored.end(),
-                  [](const auto &a, const auto &b) {
-                      return a.first > b.first;
-                  });
+        std::vector<std::pair<double, uint64_t>> scored(pool.size());
+        for (size_t i = 0; i < pool.size(); ++i)
+            scored[i] = {spread[i], pool[i]};
+        // Deterministic top-n: spread descending with the candidate
+        // index as tie-break, a strict total order (pool indices are
+        // unique) — equal-spread candidates no longer land in
+        // implementation-defined order. nth_element + a sort of the
+        // kept prefix beats full-sorting the pool.
+        const auto rank = [](const std::pair<double, uint64_t> &a,
+                             const std::pair<double, uint64_t> &b) {
+            if (a.first != b.first)
+                return a.first > b.first;
+            return a.second < b.second;
+        };
+        const size_t keep = std::min(n, scored.size());
+        if (keep < scored.size())
+            std::nth_element(scored.begin(),
+                             scored.begin() + static_cast<ptrdiff_t>(keep),
+                             scored.end(), rank);
+        std::sort(scored.begin(),
+                  scored.begin() + static_cast<ptrdiff_t>(keep), rank);
         for (size_t i = 0; i < scored.size(); ++i) {
-            if (i < n) {
+            if (i < keep) {
                 batch.push_back(scored[i].second);
             } else {
                 seen_[scored[i].second] = false;  // return to the pool
@@ -148,17 +165,21 @@ Explorer::step()
     // Encode the whole batch first (a span of pure feature encoding),
     // then simulate and accumulate. The simulator memoizes by index
     // and the encoding is a pure function of the index, so splitting
-    // the loop changes no result.
-    std::vector<std::vector<double>> features;
-    features.reserve(batch.size());
+    // the loop changes no result. One contiguous
+    // [batch x encodedWidth] buffer filled by encodeIndexInto — no
+    // per-point heap allocation in the encode span.
+    const size_t width = static_cast<size_t>(space_.encodedWidth());
+    std::vector<double> features(batch.size() * width);
     {
         obs::TraceScope span("encode", em.encodeWallNs);
-        for (uint64_t idx : batch)
-            features.push_back(space_.encodeIndex(idx));
+        for (size_t i = 0; i < batch.size(); ++i)
+            space_.encodeIndexInto(batch[i], features.data() + i * width);
     }
     for (size_t i = 0; i < batch.size(); ++i) {
         indices_.push_back(batch[i]);
-        data_.add(std::move(features[i]), simulator_(batch[i]));
+        const double *row = features.data() + i * width;
+        data_.add(std::vector<double>(row, row + width),
+                  simulator_(batch[i]));
     }
 
     TrainOptions train = opts_.train;
@@ -196,6 +217,12 @@ Explorer::ensemble() const
     return *ensemble_;
 }
 
+void
+Explorer::seedEnsemble(Ensemble model)
+{
+    ensemble_ = std::make_unique<Ensemble>(std::move(model));
+}
+
 double
 Explorer::predictIndex(uint64_t index) const
 {
@@ -205,16 +232,29 @@ Explorer::predictIndex(uint64_t index) const
 std::vector<double>
 Explorer::predictIndices(const std::vector<uint64_t> &indices) const
 {
+    const auto &em = ExploreMetrics::get();
+    obs::TraceScope span("predict", em.predictWallNs);
+    obs::MetricsRegistry::global().add(em.pointsPredicted,
+                                       indices.size());
     // Batched, parallel, and bit-identical to a predictIndex loop.
     return ensemble().predictIndices(space_, indices);
 }
 
 std::vector<double>
+Explorer::predictRange(uint64_t first, size_t count) const
+{
+    const auto &em = ExploreMetrics::get();
+    obs::TraceScope span("predict", em.predictWallNs);
+    obs::MetricsRegistry::global().add(em.pointsPredicted, count);
+    return ensemble().predictRange(space_, first, count);
+}
+
+std::vector<double>
 Explorer::predictSpace() const
 {
-    std::vector<uint64_t> all(space_.size());
-    std::iota(all.begin(), all.end(), 0);
-    return predictIndices(all);
+    // Streamed: no iota index vector — for the 2^31-point spaces this
+    // library targets that materialization is pure page traffic.
+    return predictRange(0, space_.size());
 }
 
 } // namespace ml

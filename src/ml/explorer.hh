@@ -98,6 +98,15 @@ class Explorer
     /** The model trained on everything simulated so far. */
     const Ensemble &ensemble() const;
 
+    /**
+     * Inject a pre-trained ensemble (e.g. loaded via ml::io) before
+     * the first step(), so an active-learning campaign can warm-start
+     * its committee scoring instead of spending round one on random
+     * sampling. step() replaces it with a freshly trained model as
+     * usual.
+     */
+    void seedEnsemble(Ensemble model);
+
     /** Design points simulated so far. */
     const std::vector<uint64_t> &sampledIndices() const { return indices_; }
 
@@ -115,7 +124,16 @@ class Explorer
     std::vector<double>
     predictIndices(const std::vector<uint64_t> &indices) const;
 
-    /** Predict every point of the design space (parallel chunks). */
+    /**
+     * Streaming prediction of the consecutive index range
+     * [first, first + count): bit-identical to predictIndices on the
+     * equivalent iota vector, but without materializing an
+     * 8-byte-per-point index vector — the form full-space sweeps use.
+     */
+    std::vector<double> predictRange(uint64_t first, size_t count) const;
+
+    /** Predict every point of the design space (parallel chunks,
+     *  streamed through predictRange). */
     std::vector<double> predictSpace() const;
 
   private:

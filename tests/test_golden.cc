@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "ml/cross_validation.hh"
+#include "ml/explorer.hh"
 #include "study/harness.hh"
 #include "util/rng.hh"
 
@@ -64,6 +65,46 @@ TEST(Golden, SmallEnsembleEstimate)
     const auto model = ml::trainEnsemble(data, opts);
     EXPECT_NEAR(model.estimate().meanPct, 25.809202971370066, 1e-6);
     EXPECT_NEAR(model.estimate().sdPct, 22.809921024581772, 1e-6);
+}
+
+TEST(Golden, ActiveLearningPickBatchSelection)
+{
+    // Pins which design points one committee-scored round chooses to
+    // simulate: round one samples randomly, round two ranks a
+    // candidate pool by member spread and keeps the top batch under
+    // the (spread desc, index asc) tie-break. Future kernel work on
+    // the scoring path cannot silently change which points get
+    // simulated without moving this pin deliberately.
+    ml::DesignSpace space;
+    space.addCardinal("a", {1, 2, 3, 4, 5, 6, 7, 8});
+    space.addCardinal("b", {1, 2, 3, 4, 5, 6, 7, 8});
+    space.addCardinal("c", {1, 2, 3, 4});
+    space.addNominal("m", {"x", "y"});  // 512 points
+    auto simulator = [&](uint64_t i) {
+        const auto x = space.encodeIndex(i);
+        return 0.5 + 0.4 * x[0] - 0.25 * x[1] * x[2] + 0.1 * x[3] +
+            0.35 * x[0] * x[1] * (1.0 - x[2]);
+    };
+    ml::ExplorerOptions opts;
+    opts.batchSize = 20;
+    opts.candidatePool = 120;
+    opts.activeLearning = true;
+    opts.targetMeanPct = 0.0;
+    opts.train.folds = 5;
+    opts.train.maxEpochs = 150;
+    opts.train.esInterval = 25;
+    opts.train.patience = 4;
+    ml::Explorer ex(space, simulator, opts);
+    ex.step();
+    ex.step();
+    const auto &sampled = ex.sampledIndices();
+    ASSERT_EQ(sampled.size(), 40u);
+    const std::vector<uint64_t> round_two(sampled.begin() + 20,
+                                          sampled.end());
+    const std::vector<uint64_t> expected = {
+        450, 392, 322, 457, 385, 465, 393, 338, 401, 208,
+        63,  346, 504, 274, 409, 288, 144, 0,   119, 406};
+    EXPECT_EQ(round_two, expected);
 }
 
 } // namespace
